@@ -1,0 +1,45 @@
+# Convenience targets for the k-set consensus reproduction.
+
+GO ?= go
+
+.PHONY: all build test race short bench verify figures report clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Empirical validation of every figure panel plus the impossibility
+# constructions (quick sizes; raise -n/-runs to go deeper).
+verify:
+	$(GO) run ./cmd/ksetverify -fig all -n 16 -runs 32 -samples 4
+	$(GO) run ./cmd/ksetverify -constructions -n 16
+
+# Regenerate the paper's figures at n=64 into docs/figures/.
+figures:
+	mkdir -p docs/figures
+	$(GO) run ./cmd/ksetregions -lattice > docs/figures/figure1-lattice.txt
+	$(GO) run ./cmd/ksetregions -model mp/cr -n 64 > docs/figures/figure2-mp-cr-n64.txt
+	$(GO) run ./cmd/ksetregions -model mp/byz -n 64 > docs/figures/figure4-mp-byz-n64.txt
+	$(GO) run ./cmd/ksetregions -model sm/cr -n 64 > docs/figures/figure5-sm-cr-n64.txt
+	$(GO) run ./cmd/ksetregions -model sm/byz -n 64 > docs/figures/figure6-sm-byz-n64.txt
+
+# One-shot evaluation report (EXPERIMENTS.md structure) into docs/.
+report:
+	$(GO) run ./cmd/ksetreport -n 12 -runs 16 -samples 3 > docs/report.md
+
+clean:
+	$(GO) clean ./...

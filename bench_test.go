@@ -1,0 +1,348 @@
+// Benchmarks regenerating the paper's evaluation artifacts and measuring the
+// reproduction itself. The paper's "results" are Figures 1-6 (a lattice and
+// four region charts) rather than performance tables, so the benches come in
+// three groups:
+//
+//   - BenchmarkFig*: regenerate each figure's data (the classification
+//     grids), one bench per figure, at the paper's n = 64.
+//   - BenchmarkProtocol*/BenchmarkRun*: cost of executing each of the
+//     paper's protocols on the simulated systems across n, with
+//     messages/events reported per run.
+//   - Ablations: SIMULATION overhead (MP protocol direct vs through shared
+//     memory), echo parameter l, scheduler choice.
+//
+// Run with: go test -bench=. -benchmem
+package kset_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kset"
+	"kset/internal/mplive"
+	"kset/internal/mpnet"
+	"kset/internal/protocols/mp"
+	"kset/internal/protocols/sm"
+	"kset/internal/smlive"
+	"kset/internal/smmem"
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// --- Figure regeneration benches (one per paper figure) ---
+
+func BenchmarkFig1Lattice(b *testing.B) {
+	vs := types.AllValidities()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range vs {
+			for _, d := range vs {
+				_ = theory.WeakerOrEqual(c, d)
+			}
+		}
+	}
+}
+
+func benchFigure(b *testing.B, m types.Model, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		grids := theory.ComputeFigure(m, n)
+		if len(grids) != 6 {
+			b.Fatal("expected six panels")
+		}
+	}
+}
+
+func BenchmarkFig2RegionsMPCR(b *testing.B)  { benchFigure(b, types.MPCR, 64) }
+func BenchmarkFig4RegionsMPByz(b *testing.B) { benchFigure(b, types.MPByz, 64) }
+func BenchmarkFig5RegionsSMCR(b *testing.B)  { benchFigure(b, types.SMCR, 64) }
+func BenchmarkFig6RegionsSMByz(b *testing.B) { benchFigure(b, types.SMByz, 64) }
+
+// --- Protocol execution benches ---
+
+func distinct(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.Value(i + 1)
+	}
+	return out
+}
+
+func benchMP(b *testing.B, n, k, t int, factory func(types.ProcessID) mpnet.Protocol) {
+	inputs := distinct(n)
+	b.ReportAllocs()
+	var events, messages int64
+	for i := 0; i < b.N; i++ {
+		rec, err := mpnet.Run(mpnet.Config{
+			N: n, T: t, K: k,
+			Inputs:      inputs,
+			NewProtocol: factory,
+			Seed:        uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += int64(rec.Events)
+		messages += int64(rec.Messages)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(float64(messages)/float64(b.N), "msgs/run")
+}
+
+func BenchmarkRunFloodMin(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchMP(b, n, n/2, n/2-1, func(types.ProcessID) mpnet.Protocol { return mp.NewFloodMin() })
+		})
+	}
+}
+
+func BenchmarkRunProtocolA(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchMP(b, n, 2, n/3, func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolA() })
+		})
+	}
+}
+
+func BenchmarkRunProtocolB(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchMP(b, n, 4, n/8, func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolB() })
+		})
+	}
+}
+
+func BenchmarkRunProtocolC(b *testing.B) {
+	// The l-echo broadcast costs O(n^3) messages; bench to n=32.
+	for _, n := range []int{8, 16, 32} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchMP(b, n, 3, n/8, func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolC(1) })
+		})
+	}
+}
+
+func BenchmarkRunProtocolD(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := n / 4
+			k := theory.Z(n, t)
+			if k > n-1 {
+				b.Skip("Z(n,t) out of range")
+			}
+			benchMP(b, n, k, t, func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolD() })
+		})
+	}
+}
+
+func benchSM(b *testing.B, n, k, t int, factory func(types.ProcessID) smmem.Protocol) {
+	inputs := distinct(n)
+	b.ReportAllocs()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		rec, err := smmem.Run(smmem.Config{
+			N: n, T: t, K: k,
+			Inputs:      inputs,
+			NewProtocol: factory,
+			Seed:        uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += int64(rec.Events)
+	}
+	b.ReportMetric(float64(ops)/float64(b.N), "regops/run")
+}
+
+func BenchmarkRunProtocolE(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSM(b, n, 2, n-1, func(types.ProcessID) smmem.Protocol { return sm.NewProtocolE() })
+		})
+	}
+}
+
+func BenchmarkRunProtocolF(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			t := n / 4
+			benchSM(b, n, t+2, t, func(types.ProcessID) smmem.Protocol { return sm.NewProtocolF() })
+		})
+	}
+}
+
+// BenchmarkRunLive measures the goroutine/channel runtime: real concurrency,
+// per-message delivery goroutines, sub-millisecond delays.
+func BenchmarkRunLive(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := distinct(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec, err := mplive.Run(mplive.Config{
+					N: n, T: n/2 - 1, K: n / 2,
+					Inputs:      inputs,
+					NewProtocol: func(types.ProcessID) mpnet.Protocol { return mp.NewFloodMin() },
+					Seed:        uint64(i) + 1,
+					MaxDelay:    200 * time.Microsecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rec.BudgetExhausted {
+					b.Fatal("live run timed out")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunLiveSM measures the concurrent shared-memory runtime with
+// Protocol E.
+func BenchmarkRunLiveSM(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := distinct(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec, err := smlive.Run(smlive.Config{
+					N: n, T: n - 1, K: 2,
+					Inputs:      inputs,
+					NewProtocol: func(types.ProcessID) smmem.Protocol { return sm.NewProtocolE() },
+					Seed:        uint64(i) + 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rec.BudgetExhausted {
+					b.Fatal("live SM run timed out")
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: the SIMULATION transformation's cost ---
+
+// BenchmarkAblationSimulation compares FloodMin run natively on the
+// message-passing simulator against the same protocol carried to shared
+// memory by SIMULATION: the ratio is the price of the paper's Section 4
+// transformation (register polling instead of delivery events).
+func BenchmarkAblationSimulation(b *testing.B) {
+	const n, k, t = 12, 6, 5
+	b.Run("direct-mp", func(b *testing.B) {
+		benchMP(b, n, k, t, func(types.ProcessID) mpnet.Protocol { return mp.NewFloodMin() })
+	})
+	b.Run("via-simulation-sm", func(b *testing.B) {
+		benchSM(b, n, k, t, func(types.ProcessID) smmem.Protocol {
+			return sm.NewSimulation(mp.NewFloodMin())
+		})
+	})
+}
+
+// BenchmarkAblationEchoEll varies the echo parameter l of Protocol C at a
+// point where several values of l are feasible, showing the cost growth that
+// motivates BestEchoEll picking the smallest feasible l.
+func BenchmarkAblationEchoEll(b *testing.B) {
+	const n, k, t = 16, 5, 2
+	for _, l := range []int{1, 2, 3} {
+		l := l
+		if !theory.ProtocolCRegion(n, k, t, l) {
+			continue
+		}
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			benchMP(b, n, k, t, func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolC(l) })
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares delivery policies on the same
+// workload: the scheduler is the simulator's hot loop.
+func BenchmarkAblationScheduler(b *testing.B) {
+	const n, k, t = 16, 8, 7
+	inputs := distinct(n)
+	scheds := []struct {
+		name string
+		mk   func() mpnet.Scheduler
+	}{
+		{"fair-random", func() mpnet.Scheduler { return mpnet.FairRandom{} }},
+		{"fifo", func() mpnet.Scheduler { return mpnet.FIFO{} }},
+		{"group-gate", func() mpnet.Scheduler {
+			return mpnet.Isolate(n, []types.ProcessID{0, 1, 2, 3, 4, 5, 6, 7})
+		}},
+	}
+	for _, s := range scheds {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := mpnet.Run(mpnet.Config{
+					N: n, T: t, K: k,
+					Inputs:      inputs,
+					NewProtocol: func(types.ProcessID) mpnet.Protocol { return mp.NewFloodMin() },
+					Scheduler:   s.mk(),
+					Seed:        uint64(i) + 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- End-to-end: the public API path used by downstream code ---
+
+func BenchmarkSolveEndToEnd(b *testing.B) {
+	inputs := distinct(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := kset.Solve(kset.SolveConfig{
+			Model: kset.MPCR, Validity: kset.RV1,
+			N: 16, K: 8, T: 7,
+			Inputs: inputs,
+			Seed:   uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustiveVerify measures the small-scope verifier: one full
+// quantification over inputs, faulty sets and arrival subsets.
+func BenchmarkExhaustiveVerify(b *testing.B) {
+	for _, n := range []int{4, 5, 6} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, err := kset.VerifyOneShot(kset.ProtoA, kset.RV2, n, 2, 1)
+				if err != nil || !v.Holds {
+					b.Fatalf("unexpected verdict: %v %v", v, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClassifyPoint(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, m := range types.AllModels() {
+			for _, v := range types.AllValidities() {
+				_ = theory.Classify(m, v, 64, 17, 23)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatticeFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-lattice"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 1") || !strings.Contains(b.String(), "SV1 => SV2") {
+		t.Errorf("lattice output wrong:\n%s", b.String())
+	}
+}
+
+func TestSinglePanelChart(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "mp/cr", "-validity", "rv1", "-n", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "validity RV1") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "cells: 21 solvable, 27 impossible, 0 open") {
+		t.Errorf("missing/incorrect cell counts:\n%s", out)
+	}
+}
+
+func TestAllModels(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fig := range []string{"Figure 2", "Figure 4", "Figure 5", "Figure 6"} {
+		if !strings.Contains(out, fig) {
+			t.Errorf("missing %s", fig)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "sm/cr", "-validity", "rv2", "-n", "6", "-csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "model,validity,n,k,t,status,lemma,protocol" {
+		t.Errorf("csv header: %q", lines[0])
+	}
+	if len(lines) != 1+(6-2)*6 {
+		t.Errorf("csv rows: %d", len(lines))
+	}
+}
+
+func TestBoundariesOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "mp/cr", "-validity", "rv1", "-n", "8", "-boundaries"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "max solvable t") {
+		t.Errorf("boundary table missing:\n%s", b.String())
+	}
+}
+
+func TestOpenCellsFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "mp/cr", "-validity", "rv2", "-n", "16", "-open"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Open cells of RV2 at n=16 are exactly kt = (k-1)*16: (2,8), (4,12), (8,14).
+	for _, cell := range []string{"k=2   t=8", "k=4   t=12", "k=8   t=14"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("open cell %q missing:\n%s", cell, out)
+		}
+	}
+	if !strings.Contains(out, "(3 open cells)") {
+		t.Errorf("open count missing:\n%s", out)
+	}
+	// Fully characterized panel.
+	b.Reset()
+	if err := run([]string{"-model", "mp/cr", "-validity", "rv1", "-n", "16", "-open"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fully characterized") {
+		t.Errorf("RV1 should have no open cells:\n%s", b.String())
+	}
+}
+
+func TestDiffFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-diff", "mp/cr:sm/cr", "-validity", "rv2", "-n", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "diff MP/CR/RV2 vs SM/CR/RV2") {
+		t.Errorf("diff header missing:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "cells differ") {
+		t.Errorf("diff summary missing:\n%s", b.String())
+	}
+}
+
+func TestDiffFlagErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-diff", "mp/cr:sm/cr"}, &b); err == nil {
+		t.Error("diff without validity accepted")
+	}
+	if err := run([]string{"-diff", "mp/cr", "-validity", "rv2"}, &b); err == nil {
+		t.Error("diff without separator accepted")
+	}
+	if err := run([]string{"-diff", "mp/cr:bogus", "-validity", "rv2"}, &b); err == nil {
+		t.Error("diff with bogus model accepted")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "bogus"}, &b); err == nil {
+		t.Error("bogus model accepted")
+	}
+	if err := run([]string{"-validity", "xx"}, &b); err == nil {
+		t.Error("bogus validity accepted")
+	}
+	if err := run([]string{"-n", "2"}, &b); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

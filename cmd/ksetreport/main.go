@@ -1,0 +1,45 @@
+// Command ksetreport runs the reproduction's entire evaluation — region
+// grids at the paper's n=64, empirical validation sweeps, the impossibility
+// constructions, the terminating-protocol experiment, and agreement
+// tightness statistics — and writes a markdown report to stdout. It is the
+// one-shot reproducibility artifact; EXPERIMENTS.md follows its structure.
+//
+// Usage:
+//
+//	ksetreport                      # defaults: sweeps at n=10
+//	ksetreport -n 16 -runs 32 -samples 4 > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kset/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ksetreport", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		n       = fs.Int("n", 10, "system size for empirical sweeps")
+		runs    = fs.Int("runs", 16, "runs per sampled cell")
+		samples = fs.Int("samples", 3, "cells sampled per panel")
+		seed    = fs.Uint64("seed", 1, "evaluation seed")
+		gridN   = fs.Int("gridn", 64, "system size for region tables (the paper uses 64)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return report.Run(out, report.Config{
+		N: *n, Runs: *runs, Samples: *samples, Seed: *seed, GridN: *gridN,
+	})
+}

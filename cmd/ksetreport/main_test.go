@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportCommand(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-n", "8", "-runs", "4", "-samples", "1", "-gridn", "12"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "region cell counts at n=12") {
+		t.Errorf("gridn flag ignored:\n%s", b.String()[:200])
+	}
+	if !strings.Contains(b.String(), "All sampled cells validated.") {
+		t.Error("validation summary missing")
+	}
+}
+
+func TestReportBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,259 @@
+// Command ksetrun executes a single k-set consensus run and prints its
+// trace and outcome. It can run the witness protocol of any solvable cell,
+// or one of the paper's impossibility-proof constructions (-demo).
+//
+// Usage:
+//
+//	ksetrun -model mp/cr -validity rv1 -n 8 -k 3 -t 2 -seed 7
+//	ksetrun -model sm/byz -validity wv2 -n 6 -k 2 -t 3 -inputs 4,4,4,4,4,4
+//	ksetrun -demo lemma3.3 -n 8 -k 2 -t 5      # Figure 3's run, violated live
+//	ksetrun -demo list                          # list available demos
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"kset/internal/adversary"
+	"kset/internal/ascii"
+	"kset/internal/checker"
+	"kset/internal/harness"
+	"kset/internal/mpnet"
+	"kset/internal/smmem"
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetrun:", err)
+		os.Exit(1)
+	}
+}
+
+var demoNames = []string{
+	"lemma3.2", "lemma3.3", "lemma3.5", "lemma3.6", "lemma3.9", "lemma3.10",
+	"lemma4.3", "lemma4.9", "boundary",
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ksetrun", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		model    = fs.String("model", "mp/cr", "model: mp/cr, mp/byz, sm/cr, sm/byz")
+		validity = fs.String("validity", "rv1", "validity condition (sv1..wv2)")
+		n        = fs.Int("n", 8, "number of processes")
+		k        = fs.Int("k", 3, "agreement bound")
+		t        = fs.Int("t", 2, "failure bound")
+		seed     = fs.Uint64("seed", 1, "run seed")
+		inputs   = fs.String("inputs", "", "comma-separated inputs (default: 1..n)")
+		quiet    = fs.Bool("quiet", false, "suppress the event trace")
+		diagram  = fs.Bool("diagram", false, "render a space-time diagram instead of a raw trace")
+		demo     = fs.String("demo", "", "run a paper construction instead (see -demo list)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *demo == "list" {
+		fmt.Fprintln(out, "available demos (impossibility-proof constructions):")
+		for _, d := range demoNames {
+			fmt.Fprintln(out, "  ", d)
+		}
+		return nil
+	}
+	if *demo != "" {
+		return runDemo(out, *demo, *n, *k, *t, *quiet)
+	}
+
+	vals, err := parseInputs(*inputs, *n)
+	if err != nil {
+		return err
+	}
+	m, err := types.ParseModel(*model)
+	if err != nil {
+		return err
+	}
+	v, err := types.ParseValidity(*validity)
+	if err != nil {
+		return err
+	}
+
+	res := theory.Classify(m, v, *n, *k, *t)
+	fmt.Fprintf(out, "SC(k=%d, t=%d, %s) in %s with n=%d: %s", *k, *t, v, m, *n, res.Status)
+	switch res.Status {
+	case theory.Solvable:
+		fmt.Fprintf(out, " via %s (%s)\n\n", res.Protocol, res.Lemma)
+	case theory.Impossible:
+		fmt.Fprintf(out, " (%s)\n", res.Lemma)
+		return fmt.Errorf("no protocol exists at this point; try -demo to see a violation construction")
+	default:
+		fmt.Fprintln(out, " (open problem in the paper)")
+		return fmt.Errorf("no witness protocol for an open point")
+	}
+
+	var rec *types.RunRecord
+	var dia *ascii.Diagram
+	switch m.Comm {
+	case types.MessagePassing:
+		factory, err := harness.MPFactory(res)
+		if err != nil {
+			return err
+		}
+		cfg := mpnet.Config{
+			N: *n, T: *t, K: *k,
+			Inputs: vals, NewProtocol: factory, Seed: *seed,
+		}
+		switch {
+		case *diagram:
+			dia = ascii.NewDiagram(*n)
+			cfg.Trace = dia.Observe
+		case !*quiet:
+			cfg.Trace = func(ev mpnet.TraceEvent) { fmt.Fprintln(out, ev) }
+		}
+		rec, err = mpnet.Run(cfg)
+		if err != nil {
+			return err
+		}
+	case types.SharedMemory:
+		factory, err := harness.SMFactory(res)
+		if err != nil {
+			return err
+		}
+		cfg := smmem.Config{
+			N: *n, T: *t, K: *k,
+			Inputs: vals, NewProtocol: factory, Seed: *seed,
+		}
+		if !*quiet {
+			cfg.Trace = func(ev smmem.TraceEvent) { fmt.Fprintln(out, ev) }
+		}
+		rec, err = smmem.Run(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	if dia != nil {
+		fmt.Fprint(out, dia.Render())
+	}
+	printOutcome(out, rec, v)
+	return nil
+}
+
+func runDemo(out io.Writer, name string, n, k, t int, quiet bool) error {
+	var (
+		mpCons *adversary.MPConstruction
+		smCons *adversary.SMConstruction
+		err    error
+	)
+	switch name {
+	case "lemma3.2":
+		mpCons, err = adversary.Lemma32FloodMin(n, k, t)
+	case "lemma3.3":
+		mpCons, err = adversary.Lemma33ProtocolA(n, k, t)
+	case "lemma3.5":
+		mpCons, err = adversary.Lemma35FloodMin(n, k, t)
+	case "lemma3.6":
+		mpCons, err = adversary.Lemma36ProtocolB(n, k, t)
+	case "boundary":
+		mpCons, err = adversary.BoundaryProtocolA(n, k)
+	case "lemma3.9":
+		mpCons, err = adversary.Lemma39ProtocolA(n, k, t)
+	case "lemma3.10":
+		mpCons, err = adversary.Lemma310FloodMin(n, k, t)
+	case "lemma4.3":
+		smCons, err = adversary.Lemma43ProtocolF(n, k, t)
+	case "lemma4.9":
+		smCons, err = adversary.Lemma49ProtocolE(n, k, t)
+	default:
+		return fmt.Errorf("unknown demo %q (try -demo list)", name)
+	}
+	if err != nil {
+		return err
+	}
+
+	if mpCons != nil {
+		fmt.Fprintf(out, "construction %s (%s): expecting a %s violation\n\n",
+			mpCons.Name, mpCons.Lemma, mpCons.Expect)
+		cfg := mpCons.FreshConfig()
+		cfg.Seed = 1
+		if !quiet {
+			cfg.Trace = func(ev mpnet.TraceEvent) { fmt.Fprintln(out, ev) }
+		}
+		rec, err := mpnet.Run(cfg)
+		if err != nil {
+			return err
+		}
+		printOutcome(out, rec, mpCons.Validity)
+		return nil
+	}
+
+	fmt.Fprintf(out, "construction %s (%s): expecting a %s violation\n\n",
+		smCons.Name, smCons.Lemma, smCons.Expect)
+	cfg := smCons.Config
+	cfg.Seed = 1
+	if !quiet {
+		cfg.Trace = func(ev smmem.TraceEvent) { fmt.Fprintln(out, ev) }
+	}
+	rec, err := smmem.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printOutcome(out, rec, smCons.Validity)
+	return nil
+}
+
+func printOutcome(out io.Writer, rec *types.RunRecord, v types.Validity) {
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "outcome:", rec)
+	for i := 0; i < rec.N; i++ {
+		status := "correct"
+		if rec.Faulty[i] {
+			status = "faulty"
+		}
+		decision := "undecided"
+		if rec.Decided[i] {
+			decision = "decided " + strconv.FormatInt(int64(rec.Decisions[i]), 10)
+		}
+		fmt.Fprintf(out, "  %-4s input=%-4d %-8s %s\n", types.ProcessID(i), rec.Inputs[i], status, decision)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "checks:")
+	report := func(name string, err error) {
+		if err != nil {
+			fmt.Fprintf(out, "  %-12s VIOLATED: %v\n", name, err)
+		} else {
+			fmt.Fprintf(out, "  %-12s ok\n", name)
+		}
+	}
+	report("termination", checker.CheckTermination(rec))
+	report("agreement", checker.CheckAgreement(rec))
+	report(v.String(), checker.CheckValidity(rec, v))
+}
+
+func parseInputs(s string, n int) ([]types.Value, error) {
+	if s == "" {
+		out := make([]types.Value, n)
+		for i := range out {
+			out[i] = types.Value(i + 1)
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("%d inputs for n=%d", len(parts), n)
+	}
+	out := make([]types.Value, n)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input %q: %w", p, err)
+		}
+		out[i] = types.Value(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+// Command ksetverify empirically validates the paper's figures: for each
+// panel of a region figure it samples cells, runs the witness protocol of
+// each solvable cell under randomized adversarial sweeps checking all three
+// SC conditions, and executes the scripted counterexample constructions for
+// representative impossible cells, reporting the violations they exhibit.
+//
+// Usage:
+//
+//	ksetverify -fig all -n 10 -runs 24          # quick pass, all figures
+//	ksetverify -fig 2 -n 64 -runs 32 -samples 6 # Figure 2 at the paper's n
+//	ksetverify -constructions                    # counterexample demos only
+//
+// The summary printed at the end is the data recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kset/internal/adversary"
+	"kset/internal/harness"
+	"kset/internal/prng"
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetverify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ksetverify", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		fig           = fs.String("fig", "all", `figure to validate: 2, 4, 5, 6 or "all"`)
+		n             = fs.Int("n", 10, "number of processes (64 reproduces the paper's size; 10 is fast)")
+		runs          = fs.Int("runs", 24, "randomized runs per sampled cell")
+		samples       = fs.Int("samples", 5, "solvable cells sampled per panel")
+		seed          = fs.Uint64("seed", 1, "sweep seed")
+		constructions = fs.Bool("constructions", false, "run only the impossibility constructions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *constructions {
+		return runConstructions(out, *n)
+	}
+
+	var figures []theory.Figure
+	for _, f := range theory.Figures() {
+		if *fig == "all" || *fig == fmt.Sprint(f.Number) {
+			figures = append(figures, f)
+		}
+	}
+	if len(figures) == 0 {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+
+	failures := 0
+	for _, f := range figures {
+		fmt.Fprintf(out, "=== Figure %d (%s, n=%d) ===\n", f.Number, f.Model, *n)
+		for _, v := range types.AllValidities() {
+			failures += validatePanel(out, f.Model, v, *n, *runs, *samples, *seed)
+		}
+		fmt.Fprintln(out)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d cell validations failed", failures)
+	}
+	fmt.Fprintln(out, "all sampled cells validated: termination, agreement and validity held in every run")
+	return nil
+}
+
+// validatePanel samples solvable cells of one panel and sweeps each.
+func validatePanel(out io.Writer, m types.Model, v types.Validity, n, runs, samples int, seed uint64) int {
+	g := theory.ComputeGrid(m, v, n)
+	s, i, o := g.Count()
+	fmt.Fprintf(out, "%-4s panel: %4d solvable / %4d impossible / %3d open cells\n", v, s, i, o)
+	if s == 0 {
+		return 0
+	}
+
+	// Collect solvable cells and sample them deterministically.
+	type point struct{ k, t int }
+	var cells []point
+	for k := g.KMin(); k <= g.KMax(); k++ {
+		for t := g.TMin(); t <= g.TMax(); t++ {
+			if g.At(k, t).Status == theory.Solvable {
+				cells = append(cells, point{k, t})
+			}
+		}
+	}
+	rng := prng.New(seed + uint64(n)*1000 + uint64(v))
+	if samples > len(cells) {
+		samples = len(cells)
+	}
+	failures := 0
+	for _, idx := range rng.Perm(len(cells))[:samples] {
+		c := cells[idx]
+		sum, err := harness.ValidateCell(m, v, n, c.k, c.t, runs, rng.Uint64())
+		if err != nil {
+			fmt.Fprintf(out, "     cell k=%-3d t=%-3d ERROR: %v\n", c.k, c.t, err)
+			failures++
+			continue
+		}
+		status := "ok"
+		if !sum.OK() {
+			status = "FAILED"
+			failures++
+		}
+		fmt.Fprintf(out, "     cell k=%-3d t=%-3d via %-32s %d runs %s\n",
+			c.k, c.t, g.At(c.k, c.t).Protocol, sum.Runs, status)
+		if !sum.OK() {
+			for _, viol := range sum.Violations {
+				fmt.Fprintf(out, "       violation: %v\n", viol.Err)
+			}
+			for _, e := range sum.RunErrors {
+				fmt.Fprintf(out, "       run error: %v\n", e.Err)
+			}
+		}
+	}
+	return failures
+}
+
+// runConstructions executes each scripted counterexample at a representative
+// point and reports the exhibited violation.
+func runConstructions(out io.Writer, n int) error {
+	fmt.Fprintf(out, "impossibility constructions at n=%d:\n\n", n)
+	type mpCase struct {
+		build func(n, k, t int) (*adversary.MPConstruction, error)
+		k, t  int
+	}
+	// Representative points scale with n.
+	mpCases := []mpCase{
+		{adversary.Lemma32FloodMin, 2, (n - 1) / 2},
+		{adversary.Lemma33ProtocolA, 2, (n+2)/2*2/2 + n/4 + 1},
+		{adversary.Lemma35FloodMin, 2, 1},
+		{adversary.Lemma36ProtocolB, 2, (2*n + 4) / 5},
+		{adversary.Lemma39ProtocolA, 2, n/2 + 1},
+		{adversary.Lemma310FloodMin, 2, 1},
+	}
+	if cons, err := adversary.BoundaryProtocolA(n, 2); err != nil {
+		fmt.Fprintf(out, "  (boundary probe skipped: %v)\n", err)
+	} else if result, err := harness.RunConstruction(cons, 8); err != nil {
+		return err
+	} else {
+		reportOutcome(out, cons.Name, cons.Lemma, cons.Expect, result)
+	}
+	for _, c := range mpCases {
+		cons, err := c.build(n, c.k, c.t)
+		if err != nil {
+			fmt.Fprintf(out, "  (skipped at k=%d t=%d: %v)\n", c.k, c.t, err)
+			continue
+		}
+		result, err := harness.RunConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		reportOutcome(out, cons.Name, cons.Lemma, cons.Expect, result)
+	}
+
+	smBuilders := []struct {
+		build func(n, k, t int) (*adversary.SMConstruction, error)
+		k, t  int
+	}{
+		{adversary.Lemma43ProtocolF, 2, n/2 + 1},
+		{adversary.Lemma49ProtocolE, 2, 1},
+	}
+	for _, c := range smBuilders {
+		cons, err := c.build(n, c.k, c.t)
+		if err != nil {
+			fmt.Fprintf(out, "  (skipped at k=%d t=%d: %v)\n", c.k, c.t, err)
+			continue
+		}
+		result, err := harness.RunSMConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		reportOutcome(out, cons.Name, cons.Lemma, cons.Expect, result)
+	}
+	return nil
+}
+
+func reportOutcome(out io.Writer, name, lemma, expect string, result *harness.RunOutcome) {
+	if result == nil {
+		fmt.Fprintf(out, "  %-28s %-22s expected %-11s NO VIOLATION EXHIBITED\n", name, lemma, expect)
+		return
+	}
+	fmt.Fprintf(out, "  %-28s %-22s exhibited: %v\n", name, lemma, result.Err)
+}

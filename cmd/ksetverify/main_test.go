@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyOneFigureQuick(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-fig", "2", "-n", "8", "-runs", "6", "-samples", "2", "-seed", "3"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "=== Figure 2 (MP/CR, n=8) ===") {
+		t.Errorf("figure header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "all sampled cells validated") {
+		t.Errorf("success line missing:\n%s", out)
+	}
+	// Every panel line present.
+	for _, v := range []string{"SV1", "SV2", "RV1", "RV2", "WV1", "WV2"} {
+		if !strings.Contains(out, v+" ") {
+			t.Errorf("panel %s missing:\n%s", v, out)
+		}
+	}
+}
+
+func TestVerifyConstructions(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-constructions", "-n", "9"}, &b); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, name := range []string{
+		"lemma3.2-floodmin", "lemma3.3-protocolA", "lemma3.5-floodmin",
+		"lemma3.10-floodmin", "lemma4.3-protocolF", "lemma4.9-protocolE",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("construction %s missing:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "NO VIOLATION EXHIBITED") {
+		t.Errorf("a construction failed to violate:\n%s", out)
+	}
+}
+
+func TestVerifyUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "7"}, &b); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package kset_test
+
+import (
+	"fmt"
+
+	"kset"
+)
+
+// ExampleClassify asks the solvability map about the boundary the paper
+// proves for Chaudhuri's problem: RV1 is solvable exactly when t < k.
+func ExampleClassify() {
+	below := kset.Classify(kset.MPCR, kset.RV1, 64, 5, 4)
+	at := kset.Classify(kset.MPCR, kset.RV1, 64, 5, 5)
+	fmt.Println(below.Status, "via", below.Protocol, "-", below.Lemma)
+	fmt.Println(at.Status, "-", at.Lemma)
+	// Output:
+	// solvable via FloodMin - Lemma 3.1
+	// impossible - Lemma 3.2
+}
+
+// ExampleClassify_sharedMemory shows the paper's headline: with default
+// decisions over shared memory, RV2 is solvable for every k >= 2 no matter
+// how many processes may crash.
+func ExampleClassify_sharedMemory() {
+	r := kset.Classify(kset.SMCR, kset.RV2, 64, 2, 64)
+	fmt.Println(r.Status, "via", r.Protocol)
+	// Output:
+	// solvable via Protocol E
+}
+
+// ExampleSolve runs the witness protocol for a solvable point on the
+// simulated asynchronous network. With uniform inputs and RV2, every process
+// must decide the common value.
+func ExampleSolve() {
+	rec, err := kset.Solve(kset.SolveConfig{
+		Model: kset.MPCR, Validity: kset.RV2,
+		N: 6, K: 2, T: 2,
+		Inputs: []kset.Value{9, 9, 9, 9, 9, 9},
+		Seed:   1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("decisions:", rec.CorrectDecisions())
+	// Output:
+	// decisions: [9]
+}
+
+// ExampleSolve_impossible shows that Solve refuses points the paper proves
+// impossible, citing the lemma.
+func ExampleSolve_impossible() {
+	_, err := kset.Solve(kset.SolveConfig{
+		Model: kset.MPByz, Validity: kset.RV1,
+		N: 6, K: 3, T: 1,
+		Inputs: []kset.Value{1, 2, 3, 4, 5, 6},
+	})
+	fmt.Println(err)
+	// Output:
+	// kset: SC(k=3, t=1, RV1) in MP/Byz is impossible (Lemma 3.10)
+}
+
+// ExampleVerifyOneShot proves (not samples) a protocol claim at small scale:
+// FloodMin satisfies SC(3, 2, RV1) at n=6 against every input pattern,
+// every faulty set and every message-arrival order — and fails one step
+// past Chaudhuri's t < k boundary.
+func ExampleVerifyOneShot() {
+	inRegion, _ := kset.VerifyOneShot(kset.ProtoFloodMin, kset.RV1, 6, 3, 2)
+	atBoundary, _ := kset.VerifyOneShot(kset.ProtoFloodMin, kset.RV1, 6, 3, 3)
+	fmt.Println("t=2 holds:", inRegion.Holds)
+	fmt.Println("t=3 holds:", atBoundary.Holds, "-", atBoundary.Violation.Condition)
+	// Output:
+	// t=2 holds: true
+	// t=3 holds: false - agreement
+}

@@ -1,0 +1,42 @@
+// Exhaustivecheck: prove, not sample. For small systems the one-shot
+// protocols can be verified over EVERY adversary — every input pattern,
+// every faulty set, every message-arrival order. This example asks the
+// exhaustive verifier to re-derive Protocol A's exact boundary at n=6 for
+// k=2 (the paper's Lemma 3.7 region t < (k-1)n/k = 3, with the isolated
+// open point at t=3) and prints the witness the adversary uses one step
+// beyond the line.
+//
+// Run with:
+//
+//	go run ./examples/exhaustivecheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kset"
+)
+
+func main() {
+	const n, k = 6, 2
+	fmt.Printf("Protocol A, RV2, n=%d, k=%d: exhaustive verdict per t\n\n", n, k)
+	for t := 1; t <= n-1; t++ {
+		v, err := kset.VerifyOneShot(kset.ProtoA, kset.RV2, n, k, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		claim := kset.Classify(kset.MPCR, kset.RV2, n, k, t)
+		if v.Holds {
+			fmt.Printf("  t=%d: HOLDS over %d adversary configurations (paper: %s)\n",
+				t, v.Configurations, claim.Status)
+		} else {
+			fmt.Printf("  t=%d: fails (paper: %s)\n      witness: %v\n",
+				t, claim.Status, v.Violation)
+		}
+	}
+	fmt.Println()
+	fmt.Println("The verdict flips exactly at t = (k-1)n/k = 3 — Lemma 3.7's boundary,")
+	fmt.Println("re-derived without knowing the formula. A holding verdict here is a")
+	fmt.Println("proof for this (n, k, t), not a sample: no schedule can break it.")
+}

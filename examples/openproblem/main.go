@@ -1,0 +1,97 @@
+// Openproblem: the paper's closing question made concrete. Its conclusion
+// notes that in most of the Byzantine protocols "processes are required to
+// help other processes by continually participating in the (echo) protocol.
+// Therefore, termination is satisfied only in the sense that correct
+// processes decide, but not in the sense that they are guaranteed to
+// eventually stop. It is currently open whether there exist terminating
+// protocols for the same settings."
+//
+// This example runs the protocols under both semantics — helping (the
+// paper's) and halting (a process stops for good once it decides) — and
+// shows exactly which protocols survive the switch: the one-shot broadcast
+// protocols do, the echo-based ones lose termination.
+//
+// Run with:
+//
+//	go run ./examples/openproblem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kset/internal/checker"
+	"kset/internal/mpnet"
+	"kset/internal/protocols/mp"
+	"kset/internal/types"
+)
+
+func main() {
+	const n = 8
+	uniform := make([]types.Value, n)
+	for i := range uniform {
+		uniform[i] = 4
+	}
+	distinct := make([]types.Value, n)
+	for i := range distinct {
+		distinct[i] = types.Value(i + 1)
+	}
+
+	type trial struct {
+		name      string
+		k, t      int
+		v         types.Validity
+		inputs    []types.Value
+		scheduler mpnet.Scheduler
+		factory   func() mpnet.Protocol
+	}
+	trials := []trial{
+		{"FloodMin (one-shot)", 3, 2, types.RV1, distinct, nil,
+			func() mpnet.Protocol { return mp.NewFloodMin() }},
+		{"Protocol A (one-shot)", 2, 3, types.RV2, uniform, nil,
+			func() mpnet.Protocol { return mp.NewProtocolA() }},
+		{"Protocol C(1) (echo-based)", 3, 1, types.SV2, uniform,
+			// Delay p8's messages until everyone else has decided: with
+			// halting, the deciders are gone before p8's init arrives and
+			// nobody echoes it.
+			mpnet.NewDelayProcess(n, types.ProcessID(n-1)),
+			func() mpnet.Protocol { return mp.NewProtocolC(1) }},
+		{"Protocol D (echo-based)", 3, 2, types.WV1, distinct, nil,
+			func() mpnet.Protocol { return mp.NewProtocolD() }},
+	}
+
+	fmt.Println("terminating-protocol experiment (halting = stop after deciding):")
+	fmt.Println()
+	for _, tr := range trials {
+		helping := runOnce(tr.factory, n, tr.k, tr.t, tr.inputs, tr.scheduler, false)
+		halting := runOnce(tr.factory, n, tr.k, tr.t, tr.inputs, tr.scheduler, true)
+		fmt.Printf("  %-28s helping: %-10s halting: %s\n",
+			tr.name, verdict(helping), verdict(halting))
+	}
+	fmt.Println()
+	fmt.Println("The echo-based protocols need deciders to keep helping — the paper's")
+	fmt.Println("open problem is whether any protocol for those settings can avoid it.")
+}
+
+func runOnce(factory func() mpnet.Protocol, n, k, t int,
+	inputs []types.Value, sched mpnet.Scheduler, halt bool) error {
+	rec, err := mpnet.Run(mpnet.Config{
+		N: n, T: t, K: k,
+		Inputs:       inputs,
+		NewProtocol:  func(types.ProcessID) mpnet.Protocol { return factory() },
+		Scheduler:    sched,
+		Seed:         5,
+		HaltOnDecide: halt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return checker.CheckTermination(rec)
+}
+
+func verdict(err error) string {
+	if err == nil {
+		return "terminates"
+	}
+	return "WEDGES (termination lost)"
+}

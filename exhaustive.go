@@ -1,0 +1,45 @@
+package kset
+
+import (
+	"fmt"
+
+	"kset/internal/exhaustive"
+	"kset/internal/theory"
+)
+
+// ExhaustiveVerdict is the result of exhaustive small-scope verification.
+type ExhaustiveVerdict = exhaustive.Verdict
+
+// VerifyOneShot exhaustively verifies one of the paper's one-shot broadcast
+// protocols (FloodMin, Protocol A or Protocol B, identified by its
+// theory.ProtocolID re-exported constants below) at small scale: every input
+// pattern, every faulty set of size <= t, and every message-arrival subset.
+// Unlike Validate, which samples adversaries, this is a proof for the given
+// (n, k, t): a holding verdict means no adversary exists, and a failing one
+// carries a concrete counterexample.
+//
+// Cost grows exponentially in n; keep n <= 6.
+func VerifyOneShot(proto theory.ProtocolID, v Validity, n, k, t int) (ExhaustiveVerdict, error) {
+	var rule exhaustive.Rule
+	switch proto {
+	case ProtoFloodMin:
+		rule = exhaustive.FloodMinRule{}
+	case ProtoA:
+		rule = exhaustive.ProtocolARule{}
+	case ProtoB:
+		rule = exhaustive.ProtocolBRule{}
+	default:
+		return ExhaustiveVerdict{}, fmt.Errorf("kset: %v is not a one-shot protocol", proto)
+	}
+	if n < 2 || n > 7 {
+		return ExhaustiveVerdict{}, fmt.Errorf("kset: exhaustive verification supports 2 <= n <= 7, got %d", n)
+	}
+	return exhaustive.Verify(rule, v, n, k, t, 0), nil
+}
+
+// One-shot protocol identifiers for VerifyOneShot.
+const (
+	ProtoFloodMin = theory.ProtoFloodMin
+	ProtoA        = theory.ProtoA
+	ProtoB        = theory.ProtoB
+)

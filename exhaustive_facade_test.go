@@ -1,0 +1,35 @@
+package kset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyOneShotFacade(t *testing.T) {
+	v, err := VerifyOneShot(ProtoFloodMin, RV1, 5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Holds {
+		t.Errorf("FloodMin at t < k should hold exhaustively: %v", v.Violation)
+	}
+	v, err = VerifyOneShot(ProtoFloodMin, RV1, 5, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Holds || v.Violation == nil {
+		t.Fatal("FloodMin at t = k should fail with a witness")
+	}
+	if !strings.Contains(v.Violation.String(), "agreement") {
+		t.Errorf("witness should be an agreement violation: %v", v.Violation)
+	}
+}
+
+func TestVerifyOneShotRejectsBadArgs(t *testing.T) {
+	if _, err := VerifyOneShot(ProtoA, RV2, 12, 3, 2); err == nil {
+		t.Error("n=12 accepted (exponential blowup)")
+	}
+	if _, err := VerifyOneShot(99, RV2, 5, 3, 2); err == nil {
+		t.Error("non-one-shot protocol accepted")
+	}
+}

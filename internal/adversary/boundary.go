@@ -1,0 +1,128 @@
+package adversary
+
+import (
+	"fmt"
+
+	"kset/internal/mpnet"
+	"kset/internal/prng"
+	"kset/internal/protocols/mp"
+	"kset/internal/types"
+)
+
+// BoundaryProtocolA probes the isolated open points of the RV2/WV2 panels
+// of Figure 2: the cells with k*t = (k-1)*n exactly (which exist only when
+// k divides n), which the paper leaves open — "isolated points on the line
+// that separates possible from impossible". At such a point the processes
+// partition into exactly k groups of size n-t, and this construction makes
+// Protocol A decide k+1 values:
+//
+//   - the k groups run in isolation on distinct uniform inputs; every member
+//     except one designated victim sees n-t unanimous messages and decides
+//     its group value (k distinct values);
+//   - the victim's intra-group messages are delayed until one message from
+//     an already-decided foreign group slips in, so its n-t messages are
+//     mixed and it decides the default v0 — the (k+1)-th value.
+//
+// This shows the open points are genuinely outside Protocol A's region (its
+// Lemma 3.7 proof needs k*(n-t) > n, which fails at equality); whether any
+// other protocol solves them is the question the paper leaves open.
+func BoundaryProtocolA(n, k int) (*MPConstruction, error) {
+	if k < 2 || k >= n {
+		return nil, fmt.Errorf("%w: need 2 <= k < n, got n=%d k=%d", ErrOutOfRange, n, k)
+	}
+	if (k-1)*n%k != 0 {
+		return nil, fmt.Errorf("%w: boundary point needs k | (k-1)*n, got n=%d k=%d", ErrOutOfRange, n, k)
+	}
+	t := (k - 1) * n / k
+	size := n - t // == n/k
+	if size < 2 {
+		return nil, fmt.Errorf("%w: group size n-t=%d too small for a victim plus a peer", ErrOutOfRange, size)
+	}
+	inputs := make([]types.Value, n)
+	group := make([]int, n)
+	for i := 0; i < n; i++ {
+		group[i] = i / size
+		inputs[i] = types.Value(i/size + 1)
+	}
+	victim := types.ProcessID(n - 1) // last member of the last group
+	newSched := func() mpnet.Scheduler {
+		return &boundaryScheduler{group: group, victim: victim}
+	}
+	return &MPConstruction{
+		Name:     "boundary-protocolA",
+		Lemma:    "open point k*t = (k-1)*n (after Lemma 3.7)",
+		Expect:   "agreement",
+		Validity: types.WV2,
+		Config: mpnet.Config{
+			N: n, T: t, K: k,
+			Inputs:      inputs,
+			NewProtocol: func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolA() },
+			Scheduler:   newSched(),
+		},
+		NewScheduler: newSched,
+	}, nil
+}
+
+// boundaryScheduler delivers intra-group traffic freely except to the
+// victim, whose intra-group messages are held until it has received one
+// message from a fully-decided foreign group. Cross-group traffic to
+// non-victims follows the usual recipient gate (held until the recipient's
+// group has decided).
+type boundaryScheduler struct {
+	group       []int
+	victim      types.ProcessID
+	victimCross int
+}
+
+var _ mpnet.Scheduler = (*boundaryScheduler)(nil)
+
+// groupDecided reports whether every non-faulty member of g has decided,
+// ignoring the victim (which cannot decide before the gate opens).
+func (b *boundaryScheduler) groupDecided(view *mpnet.View, g int) bool {
+	for p := 0; p < view.N; p++ {
+		if b.group[p] != g || view.Faulty[p] || types.ProcessID(p) == b.victim {
+			continue
+		}
+		if !view.Decided[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements mpnet.Scheduler.
+func (b *boundaryScheduler) Next(view *mpnet.View, inflight []mpnet.Envelope, rng *prng.Source) int {
+	eligible := make([]int, 0, len(inflight))
+	crossToVictim := -1
+	for i, env := range inflight {
+		sg, rg := b.group[env.From], b.group[env.To]
+		switch {
+		case env.To == b.victim && sg == rg:
+			// Victim's intra traffic waits for the foreign message.
+			if b.victimCross >= 1 {
+				eligible = append(eligible, i)
+			}
+		case env.To == b.victim:
+			// Foreign traffic to the victim flows once the sender's group
+			// has decided (it can no longer be confused by the leak).
+			if b.groupDecided(view, sg) {
+				crossToVictim = i
+			}
+		case sg == rg:
+			eligible = append(eligible, i)
+		default:
+			// Ordinary cross traffic: recipient gate.
+			if b.groupDecided(view, rg) && view.Decided[env.To] {
+				eligible = append(eligible, i)
+			}
+		}
+	}
+	if b.victimCross == 0 && crossToVictim >= 0 {
+		b.victimCross++
+		return crossToVictim
+	}
+	if len(eligible) == 0 {
+		return rng.Intn(len(inflight))
+	}
+	return eligible[rng.Intn(len(eligible))]
+}

@@ -1,0 +1,111 @@
+package adversary
+
+import (
+	"errors"
+	"testing"
+
+	"kset/internal/checker"
+	"kset/internal/mpnet"
+	"kset/internal/smmem"
+)
+
+// runMP executes a construction once and returns the checker verdict.
+func runMP(t *testing.T, c *MPConstruction, seed uint64) error {
+	t.Helper()
+	cfg := c.FreshConfig()
+	cfg.Seed = seed
+	rec, err := mpnet.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	return checker.CheckAll(rec, c.Validity)
+}
+
+func runSM(t *testing.T, c *SMConstruction, seed uint64) error {
+	t.Helper()
+	cfg := c.Config
+	cfg.Seed = seed
+	rec, err := smmem.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	return checker.CheckAll(rec, c.Validity)
+}
+
+func wantViolation(t *testing.T, name string, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: no violation exhibited", name)
+	}
+	if !errors.Is(err, checker.ErrViolation) {
+		t.Fatalf("%s: unexpected error kind: %v", name, err)
+	}
+}
+
+func TestAllMPConstructionsViolate(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func() (*MPConstruction, error)
+	}{
+		{"lemma3.2", func() (*MPConstruction, error) { return Lemma32FloodMin(9, 2, 3) }},
+		{"lemma3.3", func() (*MPConstruction, error) { return Lemma33ProtocolA(9, 2, 7) }},
+		{"lemma3.5", func() (*MPConstruction, error) { return Lemma35FloodMin(8, 3, 1) }},
+		{"lemma3.6", func() (*MPConstruction, error) { return Lemma36ProtocolB(10, 2, 4) }},
+		{"lemma3.9-case1", func() (*MPConstruction, error) { return Lemma39ProtocolA(8, 2, 5) }},
+		{"lemma3.9-case2", func() (*MPConstruction, error) { return Lemma39ProtocolA(10, 2, 4) }},
+		{"lemma3.10", func() (*MPConstruction, error) { return Lemma310FloodMin(8, 3, 2) }},
+		{"boundary", func() (*MPConstruction, error) { return BoundaryProtocolA(8, 2) }},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			cons, err := b.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cons.Name == "" || cons.Lemma == "" || cons.Expect == "" {
+				t.Fatalf("construction metadata incomplete: %+v", cons)
+			}
+			wantViolation(t, cons.Name, runMP(t, cons, 1))
+		})
+	}
+}
+
+func TestAllSMConstructionsViolate(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func() (*SMConstruction, error)
+	}{
+		{"lemma4.3", func() (*SMConstruction, error) { return Lemma43ProtocolF(8, 2, 4) }},
+		{"lemma4.9", func() (*SMConstruction, error) { return Lemma49ProtocolE(6, 2, 1) }},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			cons, err := b.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantViolation(t, cons.Name, runSM(t, cons, 1))
+		})
+	}
+}
+
+func TestConstructionsAreDeterministicAcrossSeeds(t *testing.T) {
+	// The gate-based constructions violate for every seed, not just a lucky
+	// one: check a handful.
+	cons, err := Lemma33ProtocolA(9, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		wantViolation(t, cons.Name, runMP(t, cons, seed))
+	}
+	bnd, err := BoundaryProtocolA(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		wantViolation(t, bnd.Name, runMP(t, bnd, seed))
+	}
+}

@@ -1,0 +1,140 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+func TestRenderGridShapeAndGlyphs(t *testing.T) {
+	g := theory.ComputeGrid(types.MPCR, types.RV1, 8)
+	out := RenderGrid(g)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 8 rows (t=8..1) + axis + labels.
+	if len(lines) != 1+8+2 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "MP/CR") || !strings.Contains(lines[0], "RV1") {
+		t.Errorf("header missing model/validity: %q", lines[0])
+	}
+	// RV1 at n=8: solvable iff t < k. Bottom data row is t=1: k=2..7 all
+	// solvable -> "oooooo".
+	bottom := lines[8]
+	if !strings.HasSuffix(bottom, "oooooo") {
+		t.Errorf("t=1 row should be all solvable: %q", bottom)
+	}
+	// Top row t=8: all impossible.
+	top := lines[1]
+	if !strings.HasSuffix(top, "######") {
+		t.Errorf("t=8 row should be all impossible: %q", top)
+	}
+}
+
+func TestRenderFigureHasSixPanels(t *testing.T) {
+	out, err := RenderFigure(types.SMByz, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 6") {
+		t.Error("figure number missing")
+	}
+	for _, v := range types.AllValidities() {
+		if !strings.Contains(out, "validity "+v.String()) {
+			t.Errorf("panel for %v missing", v)
+		}
+	}
+}
+
+func TestRenderFigureRejectsUnknownModel(t *testing.T) {
+	if _, err := RenderFigure(types.Model{}, 8); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestWriteGridCSV(t *testing.T) {
+	g := theory.ComputeGrid(types.MPCR, types.RV2, 6)
+	var b strings.Builder
+	if err := WriteGridCSV(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	// Header + (n-2)*n rows.
+	want := 1 + (6-2)*6
+	if len(lines) != want {
+		t.Fatalf("%d CSV lines, want %d", len(lines), want)
+	}
+	if lines[0] != "model,validity,n,k,t,status,lemma,protocol" {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "MP/CR,RV2,6,2,1,") {
+		t.Errorf("bad first row: %q", lines[1])
+	}
+}
+
+func TestRenderLatticeListsAllEdges(t *testing.T) {
+	out := RenderLattice()
+	for _, edge := range []string{
+		"SV1 => SV2", "SV1 => RV1", "SV2 => RV2",
+		"RV1 => RV2", "RV1 => WV1", "RV2 => WV2", "WV1 => WV2",
+	} {
+		if !strings.Contains(out, edge) {
+			t.Errorf("lattice missing edge %q", edge)
+		}
+	}
+}
+
+func TestRenderBoundarySummary(t *testing.T) {
+	g := theory.ComputeGrid(types.MPCR, types.RV1, 8)
+	out := RenderBoundarySummary(g)
+	// At k=5 in RV1: max solvable t = 4, min impossible t = 5, no open.
+	if !strings.Contains(out, "   5              4                5      0") {
+		t.Errorf("boundary row for k=5 wrong:\n%s", out)
+	}
+}
+
+func TestDiffGrids(t *testing.T) {
+	// RV2 at n=8: MP/CR has an impossibility wedge, SM/CR is all-solvable.
+	a := theory.ComputeGrid(types.MPCR, types.RV2, 8)
+	b := theory.ComputeGrid(types.SMCR, types.RV2, 8)
+	out, err := DiffGrids(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imp, open := a.Count()
+	want := imp + open // every non-solvable MP cell differs from SM
+	if !strings.Contains(out, itoa(want)+" of 48 cells differ") {
+		t.Errorf("diff count wrong (want %d):\n%s", want, out)
+	}
+	// Identical grids: zero differences.
+	same, err := DiffGrids(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(same, "0 of 48 cells differ") {
+		t.Errorf("self-diff should be empty:\n%s", same)
+	}
+	// Mismatched n rejected.
+	if _, err := DiffGrids(a, theory.ComputeGrid(types.SMCR, types.RV2, 9)); err == nil {
+		t.Error("mismatched n accepted")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func TestGlyphMapping(t *testing.T) {
+	if Glyph(theory.Solvable) != 'o' || Glyph(theory.Impossible) != '#' || Glyph(theory.Open) != '.' {
+		t.Error("glyph mapping changed")
+	}
+}

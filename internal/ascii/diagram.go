@@ -1,0 +1,101 @@
+package ascii
+
+import (
+	"fmt"
+	"strings"
+
+	"kset/internal/mpnet"
+	"kset/internal/types"
+)
+
+// Diagram accumulates message-passing trace events and renders a space-time
+// chart in the spirit of the paper's Figure 3: one column per process, one
+// row per event, with sends, deliveries, decisions and crashes marked in the
+// acting process's lane.
+//
+//	p1  p2  p3
+//	 o   .   .    p1 -> p3 : input(1)
+//	 .   .   v    p3 <- p1 : input(1)
+//	 .   D   .    p2 DECIDES 7
+//	 X   .   .    p1 CRASHES
+type Diagram struct {
+	n      int
+	events []mpnet.TraceEvent
+	// MaxRows caps rendered rows; 0 means no cap. Long runs get elided in
+	// the middle with a summary line.
+	MaxRows int
+}
+
+// NewDiagram creates a diagram for n processes. Feed it with Observe as the
+// run's Trace callback.
+func NewDiagram(n int) *Diagram { return &Diagram{n: n, MaxRows: 64} }
+
+// Observe records one trace event; pass it as mpnet.Config.Trace.
+func (d *Diagram) Observe(ev mpnet.TraceEvent) { d.events = append(d.events, ev) }
+
+// Len returns the number of recorded events.
+func (d *Diagram) Len() int { return len(d.events) }
+
+// Render produces the chart.
+func (d *Diagram) Render() string {
+	var b strings.Builder
+	for p := 0; p < d.n; p++ {
+		fmt.Fprintf(&b, "%-4s", types.ProcessID(p))
+	}
+	b.WriteByte('\n')
+
+	rows := d.events
+	elided := 0
+	if d.MaxRows > 0 && len(rows) > d.MaxRows {
+		head := d.MaxRows / 2
+		tail := d.MaxRows - head
+		elided = len(rows) - head - tail
+		combined := make([]mpnet.TraceEvent, 0, d.MaxRows)
+		combined = append(combined, rows[:head]...)
+		combined = append(combined, rows[len(rows)-tail:]...)
+		rows = combined
+	}
+	head := d.MaxRows / 2
+	for i, ev := range rows {
+		if elided > 0 && i == head {
+			fmt.Fprintf(&b, "%s (%d events elided)\n",
+				strings.Repeat(".   ", d.n), elided)
+		}
+		b.WriteString(d.row(ev))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (d *Diagram) row(ev mpnet.TraceEvent) string {
+	lane := make([]byte, d.n)
+	for i := range lane {
+		lane[i] = '.'
+	}
+	var desc string
+	switch ev.Type {
+	case mpnet.EvSend:
+		lane[ev.Proc] = 'o'
+		desc = fmt.Sprintf("%s -> %s : %s", ev.Proc, ev.Peer, ev.Payload)
+	case mpnet.EvDeliver:
+		lane[ev.Proc] = 'v'
+		desc = fmt.Sprintf("%s <- %s : %s", ev.Proc, ev.Peer, ev.Payload)
+	case mpnet.EvDecide:
+		lane[ev.Proc] = 'D'
+		desc = fmt.Sprintf("%s DECIDES %d", ev.Proc, ev.Value)
+	case mpnet.EvCrash:
+		lane[ev.Proc] = 'X'
+		desc = fmt.Sprintf("%s CRASHES", ev.Proc)
+	case mpnet.EvBudget:
+		desc = "EVENT BUDGET EXHAUSTED"
+	default:
+		desc = ev.String()
+	}
+	var b strings.Builder
+	for _, c := range lane {
+		b.WriteByte(c)
+		b.WriteString("   ")
+	}
+	b.WriteString(desc)
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package ascii
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// TestGoldenPanelMPCRRV2 locks the exact rendering of one readable panel
+// (MP/CR, RV2, n=8): the Protocol A wedge below t=(k-1)n/k, Lemma 3.3's
+// bricks above, and the isolated open points on the line.
+func TestGoldenPanelMPCRRV2(t *testing.T) {
+	// Verified against the inequalities by hand: solvable iff kt < (k-1)*8,
+	// open iff kt = (k-1)*8 (cells (2,4) and (4,6)), impossible above.
+	const want = "MP/CR, validity RV2, n=8  (o solvable, # impossible, . open)\n" +
+		"t=  8 |######\n" +
+		"      |######\n" +
+		"      |##.ooo\n" +
+		"      |#ooooo\n" +
+		"      |.ooooo\n" +
+		"      |oooooo\n" +
+		"      |oooooo\n" +
+		"t=  1 |oooooo\n" +
+		"      +------\n" +
+		"               (k)\n"
+	got := RenderGrid(theory.ComputeGrid(types.MPCR, types.RV2, 8))
+	if got != want {
+		t.Errorf("panel rendering changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGoldenDigestsN64 locks a digest of every panel rendering at the
+// paper's n=64, so any change to the region shapes or the renderer is
+// caught. Digests are FNV-1a of the rendered text; regenerate by running
+// this test with -v after an intentional change.
+func TestGoldenDigestsN64(t *testing.T) {
+	want := map[string]uint64{
+		"MP/CR/SV1":  0xebbd3a151b1b072e,
+		"MP/CR/RV2":  0x2a4b39dc3b8a3cc5,
+		"MP/Byz/WV1": 0x29007cec878504d0,
+		"SM/CR/RV2":  0x6f9a0a8fbbc447f3,
+		"SM/Byz/WV2": 0x6145692e9b06fb1c,
+	}
+	for _, m := range types.AllModels() {
+		for _, v := range types.AllValidities() {
+			name := m.String() + "/" + v.String()
+			h := fnv.New64a()
+			if _, err := h.Write([]byte(RenderGrid(theory.ComputeGrid(m, v, 64)))); err != nil {
+				t.Fatal(err)
+			}
+			digest := h.Sum64()
+			t.Logf("%s: %#x", name, digest)
+			if w, ok := want[name]; ok && digest != w {
+				t.Errorf("%s: digest %#x, want %#x — region shape or renderer changed", name, digest, w)
+			}
+		}
+	}
+}

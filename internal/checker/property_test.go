@@ -1,0 +1,172 @@
+package checker
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// randomRecord is a generator for testing/quick: arbitrary run records with
+// small value domains (so validity triggers fire often) and n in [1, 12].
+type randomRecord struct {
+	Rec *types.RunRecord
+}
+
+// Generate implements quick.Generator.
+func (randomRecord) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(12) + 1
+	t := r.Intn(n + 1)
+	k := r.Intn(n) + 1
+	rec := &types.RunRecord{
+		N: n, T: t, K: k,
+		Model:     types.MPCR,
+		Inputs:    make([]types.Value, n),
+		Faulty:    make([]bool, n),
+		Decided:   make([]bool, n),
+		Decisions: make([]types.Value, n),
+	}
+	faults := 0
+	uniform := r.Intn(3) == 0 // often generate uniform-input runs
+	common := types.Value(r.Intn(3) + 1)
+	for i := 0; i < n; i++ {
+		if uniform {
+			rec.Inputs[i] = common
+		} else {
+			rec.Inputs[i] = types.Value(r.Intn(4) + 1)
+		}
+		if faults < t && r.Intn(4) == 0 {
+			rec.Faulty[i] = true
+			faults++
+		}
+		rec.Decided[i] = r.Intn(5) != 0 || !rec.Faulty[i]
+		if !rec.Faulty[i] {
+			rec.Decided[i] = true // keep termination satisfied
+		}
+		rec.Decisions[i] = types.Value(r.Intn(5)) // may be 0: off-domain
+	}
+	return reflect.ValueOf(randomRecord{Rec: rec})
+}
+
+// TestLatticeImplicationProperty is the semantic soundness check of
+// Figure 1: for arbitrary run records, a record satisfying a validity
+// condition D also satisfies every condition C that the lattice declares
+// weaker than D. This ties theory.WeakerOrEqual (syntax) to the checker
+// (semantics).
+func TestLatticeImplicationProperty(t *testing.T) {
+	prop := func(rr randomRecord) bool {
+		rec := rr.Rec
+		for _, d := range types.AllValidities() {
+			if CheckValidity(rec, d) != nil {
+				continue
+			}
+			for _, c := range types.AllValidities() {
+				if theory.WeakerOrEqual(c, d) && CheckValidity(rec, c) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAgreementCountProperty: CheckAgreement flags a record exactly when the
+// number of distinct correct decisions exceeds k.
+func TestAgreementCountProperty(t *testing.T) {
+	prop := func(rr randomRecord) bool {
+		rec := rr.Rec
+		distinct := len(rec.CorrectDecisions())
+		err := CheckAgreement(rec)
+		return (err != nil) == (distinct > rec.K)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSV1ImpliesRV1Property mirrors the strongest edge of the lattice
+// directly: SV1-satisfying records satisfy RV1 (a correct process's input is
+// some process's input).
+func TestSV1ImpliesRV1Property(t *testing.T) {
+	prop := func(rr randomRecord) bool {
+		rec := rr.Rec
+		if CheckValidity(rec, types.SV1) != nil {
+			return true
+		}
+		return CheckValidity(rec, types.RV1) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFailureFreeUniformProperty: in a failure-free run with uniform inputs,
+// WV2 holds exactly when every decided process decided the common input.
+func TestFailureFreeUniformProperty(t *testing.T) {
+	prop := func(rr randomRecord) bool {
+		rec := rr.Rec
+		if rec.FaultCount() > 0 {
+			return true
+		}
+		uniform := true
+		for i := 1; i < rec.N; i++ {
+			if rec.Inputs[i] != rec.Inputs[0] {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			return CheckValidity(rec, types.WV2) == nil // vacuous
+		}
+		want := true
+		for i := 0; i < rec.N; i++ {
+			if rec.Decided[i] && rec.Decisions[i] != rec.Inputs[0] {
+				want = false
+			}
+		}
+		return (CheckValidity(rec, types.WV2) == nil) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValueSetHelpersProperty: CorrectDecisions is always a subset of
+// AllDecisions, and both are sorted ascending without duplicates.
+func TestValueSetHelpersProperty(t *testing.T) {
+	sortedNoDup := func(vs []types.Value) bool {
+		for i := 1; i < len(vs); i++ {
+			if vs[i-1] >= vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	prop := func(rr randomRecord) bool {
+		rec := rr.Rec
+		correct := rec.CorrectDecisions()
+		all := rec.AllDecisions()
+		if !sortedNoDup(correct) || !sortedNoDup(all) {
+			return false
+		}
+		allSet := make(map[types.Value]bool, len(all))
+		for _, v := range all {
+			allSet[v] = true
+		}
+		for _, v := range correct {
+			if !allSet[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,361 @@
+// Package exhaustive verifies the one-shot broadcast protocols (FloodMin,
+// Protocol A, Protocol B) over EVERY adversary at small scale, not just
+// sampled ones. It exploits their structure: each process broadcasts once at
+// start and decides as a pure function of its own input and the multiset of
+// values among the first n-t messages it receives (its own always included,
+// because self-delivery is immediate).
+//
+// The key collapse: a process p's decision menu — the set of values some
+// schedule can make it decide — is
+//
+//	menu(p) = { rule(input_p, values(T)) : T a (n-t)-subset with p in T }
+//
+// over ALL (n-t)-subsets of processes, regardless of the crash pattern.
+// Delay makes any correct sender excludable from the first n-t, and a
+// mid-broadcast crash makes any faulty sender includable or excludable per
+// recipient, so the adversary has free choice of T for every process
+// independently. Crash sets therefore matter only to the validity
+// conditions' triggers (whose inputs count as "correct") — and the worst
+// case for agreement is the failure-free run, where every menu is in play.
+//
+// The verifier enumerates every input vector over {1..c}^n (decisions
+// depend only on the order/equality pattern of inputs, so bounded c is
+// exhaustive for bounded decision diversity), computes all menus, checks
+// worst-case agreement as a maximum bipartite matching (the largest number
+// of distinct values simultaneously realizable across independent menus),
+// and checks validity for every faulty set of size <= t.
+//
+// This is a small-scope proof for the protocols themselves: it re-derives
+// the exact solvability boundaries of Lemmas 3.1/3.2 (FloodMin), 3.7
+// (Protocol A, tight including the isolated boundary points) and 3.8
+// (Protocol B) — see the region-rederivation tests and EXPERIMENTS.md.
+package exhaustive
+
+import (
+	"fmt"
+	"sort"
+
+	"kset/internal/types"
+)
+
+// Rule is a one-shot protocol's decision function: the value decided by a
+// process with input own whose first n-t received messages (its own
+// included) carry the given values.
+type Rule interface {
+	// Name identifies the rule in reports.
+	Name() string
+	// Decide returns the decision. received always has length n-t and
+	// includes the process's own input.
+	Decide(own types.Value, received []types.Value, n, t int) types.Value
+}
+
+// FloodMinRule is Chaudhuri's protocol: decide the minimum received value.
+type FloodMinRule struct{}
+
+// Name implements Rule.
+func (FloodMinRule) Name() string { return "FloodMin" }
+
+// Decide implements Rule.
+func (FloodMinRule) Decide(_ types.Value, received []types.Value, _, _ int) types.Value {
+	min := received[0]
+	for _, v := range received[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// ProtocolARule: decide the common value if all n-t are identical, else the
+// default.
+type ProtocolARule struct{}
+
+// Name implements Rule.
+func (ProtocolARule) Name() string { return "Protocol A" }
+
+// Decide implements Rule.
+func (ProtocolARule) Decide(_ types.Value, received []types.Value, _, _ int) types.Value {
+	for _, v := range received[1:] {
+		if v != received[0] {
+			return types.DefaultValue
+		}
+	}
+	return received[0]
+}
+
+// ProtocolBRule: decide own input if at least n-2t received values equal it,
+// else the default.
+type ProtocolBRule struct{}
+
+// Name implements Rule.
+func (ProtocolBRule) Name() string { return "Protocol B" }
+
+// Decide implements Rule.
+func (ProtocolBRule) Decide(own types.Value, received []types.Value, n, t int) types.Value {
+	matches := 0
+	for _, v := range received {
+		if v == own {
+			matches++
+		}
+	}
+	if matches >= n-2*t {
+		return own
+	}
+	return types.DefaultValue
+}
+
+// Violation describes the first counterexample found.
+type Violation struct {
+	Condition string // "agreement" or the validity name
+	Inputs    []types.Value
+	Faulty    []bool
+	Detail    string
+}
+
+// String renders the counterexample.
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s violated with inputs %v, faulty %v: %s",
+		v.Condition, v.Inputs, v.Faulty, v.Detail)
+}
+
+// Verdict is the result of exhaustive verification.
+type Verdict struct {
+	Holds bool
+	// Configurations counts (input vector, faulty set) pairs examined.
+	Configurations int
+	// Violation is the first counterexample when Holds is false.
+	Violation *Violation
+}
+
+// Verify exhaustively checks SC(k, t, validity) for the rule at size n over
+// input vectors {1..classes}^n; classes 0 selects min(k+2, n), enough to
+// exhibit k+1 distinct decisions plus a default. It returns the first
+// counterexample found, if any. Cost grows as classes^n * C(n, <=t); n <= 7
+// stays comfortable.
+func Verify(rule Rule, validity types.Validity, n, k, t, classes int) Verdict {
+	if classes <= 0 {
+		classes = k + 2
+		if classes > n {
+			classes = n
+		}
+	}
+	v := &verifier{rule: rule, validity: validity, n: n, k: k, t: t}
+	inputs := make([]types.Value, n)
+	verdict := Verdict{Holds: true}
+	v.enumInputs(inputs, 0, classes, &verdict)
+	return verdict
+}
+
+type verifier struct {
+	rule     Rule
+	validity types.Validity
+	n, k, t  int
+}
+
+// enumInputs recurses over all input vectors in {1..classes}^n.
+func (v *verifier) enumInputs(inputs []types.Value, pos, classes int, verdict *Verdict) {
+	if !verdict.Holds {
+		return
+	}
+	if pos == v.n {
+		v.checkVector(inputs, verdict)
+		return
+	}
+	for val := 1; val <= classes; val++ {
+		inputs[pos] = types.Value(val)
+		v.enumInputs(inputs, pos+1, classes, verdict)
+		if !verdict.Holds {
+			return
+		}
+	}
+}
+
+// checkVector computes every process's decision menu once, checks agreement
+// in the failure-free worst case, and checks validity under every faulty
+// set of size <= t.
+func (v *verifier) checkVector(inputs []types.Value, verdict *Verdict) {
+	n, t := v.n, v.t
+	menus := make([]map[types.Value]struct{}, n)
+	others := make([]int, 0, n-1)
+	received := make([]types.Value, 1, n-t)
+	for p := 0; p < n; p++ {
+		others = others[:0]
+		for q := 0; q < n; q++ {
+			if q != p {
+				others = append(others, q)
+			}
+		}
+		menu := make(map[types.Value]struct{})
+		received[0] = inputs[p]
+		v.enumArrivals(inputs, others, received, n-t, menu)
+		menus[p] = menu
+	}
+
+	// Agreement in the failure-free run, where every menu counts: the
+	// adversary realizes one menu entry per process; the worst case is the
+	// maximum number of simultaneously distinct values (a matching).
+	// Removing processes (crashing them) only shrinks the menu set, so
+	// failure-free is the worst case for agreement.
+	if got := maxDistinct(menus); got > v.k {
+		verdict.Configurations++
+		v.fail(verdict, "agreement", inputs, 0,
+			fmt.Sprintf("menus admit %d simultaneously distinct decisions, bound k=%d", got, v.k))
+		return
+	}
+
+	// Validity under every faulty set (the menus are fault-independent;
+	// only the condition's trigger changes).
+	for fmask := 0; fmask < 1<<n; fmask++ {
+		if popcount(fmask) > t {
+			continue
+		}
+		verdict.Configurations++
+		if !v.checkValidity(inputs, fmask, menus, verdict) {
+			return
+		}
+	}
+}
+
+// enumArrivals enumerates all ways to fill received up to quota values from
+// the remaining candidate senders, feeding each completed multiset to the
+// rule. received[0] is the process's own input.
+func (v *verifier) enumArrivals(inputs []types.Value, candidates []int, received []types.Value, quota int, menu map[types.Value]struct{}) {
+	if len(received) == quota {
+		menu[v.rule.Decide(received[0], received, v.n, v.t)] = struct{}{}
+		return
+	}
+	need := quota - len(received)
+	for i := 0; i+need <= len(candidates); i++ {
+		v.enumArrivals(inputs, candidates[i+1:], append(received, inputs[candidates[i]]), quota, menu)
+	}
+}
+
+// checkValidity reports false (and records the violation) if some correct
+// process's menu contains a decision breaking the condition under fmask.
+func (v *verifier) checkValidity(inputs []types.Value, fmask int, menus []map[types.Value]struct{}, verdict *Verdict) bool {
+	n := v.n
+	failures := popcount(fmask)
+	allInputs := make(map[types.Value]struct{}, n)
+	correctInputs := make(map[types.Value]struct{}, n)
+	uniformAll, uniformCorrect := true, true
+	var firstAll, firstCorrect types.Value
+	seenCorrect := false
+	for p := 0; p < n; p++ {
+		allInputs[inputs[p]] = struct{}{}
+		if p == 0 {
+			firstAll = inputs[p]
+		} else if inputs[p] != firstAll {
+			uniformAll = false
+		}
+		if fmask&(1<<p) == 0 {
+			correctInputs[inputs[p]] = struct{}{}
+			if !seenCorrect {
+				firstCorrect, seenCorrect = inputs[p], true
+			} else if inputs[p] != firstCorrect {
+				uniformCorrect = false
+			}
+		}
+	}
+
+	for p := 0; p < n; p++ {
+		if fmask&(1<<p) != 0 {
+			continue // faulty processes' decisions are unconstrained
+		}
+		for d := range menus[p] {
+			var bad bool
+			var why string
+			switch v.validity {
+			case types.SV1:
+				_, ok := correctInputs[d]
+				bad, why = !ok, "decision is not a correct process's input"
+			case types.RV1:
+				_, ok := allInputs[d]
+				bad, why = !ok, "decision is not any process's input"
+			case types.SV2:
+				bad = uniformCorrect && seenCorrect && d != firstCorrect
+				why = "correct processes share an input but another value is decidable"
+			case types.RV2:
+				bad = uniformAll && d != firstAll
+				why = "all processes share an input but another value is decidable"
+			case types.WV1:
+				_, ok := allInputs[d]
+				bad = failures == 0 && !ok
+				why = "failure-free decision is not any process's input"
+			case types.WV2:
+				bad = failures == 0 && uniformAll && d != firstAll
+				why = "failure-free uniform run can decide another value"
+			}
+			if bad {
+				v.fail(verdict, v.validity.String(), inputs, fmask,
+					fmt.Sprintf("%s may decide %d: %s", types.ProcessID(p), d, why))
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (v *verifier) fail(verdict *Verdict, condition string, inputs []types.Value, fmask int, detail string) {
+	faulty := make([]bool, v.n)
+	for p := 0; p < v.n; p++ {
+		faulty[p] = fmask&(1<<p) != 0
+	}
+	verdict.Holds = false
+	verdict.Violation = &Violation{
+		Condition: condition,
+		Inputs:    append([]types.Value(nil), inputs...),
+		Faulty:    faulty,
+		Detail:    detail,
+	}
+}
+
+// maxDistinct computes the maximum number of distinct values simultaneously
+// choosable, one per non-nil menu: a maximum bipartite matching between
+// values and processes (each value needs one distinct process that can
+// decide it).
+func maxDistinct(menus []map[types.Value]struct{}) int {
+	values := make(map[types.Value][]int)
+	for p, menu := range menus {
+		for d := range menu {
+			values[d] = append(values[d], p)
+		}
+	}
+	ordered := make([]types.Value, 0, len(values))
+	for d := range values {
+		ordered = append(ordered, d)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	matchOfProc := make(map[int]types.Value)
+	var try func(d types.Value, visited map[int]bool) bool
+	try = func(d types.Value, visited map[int]bool) bool {
+		for _, p := range values[d] {
+			if visited[p] {
+				continue
+			}
+			visited[p] = true
+			cur, taken := matchOfProc[p]
+			if !taken || try(cur, visited) {
+				matchOfProc[p] = d
+				return true
+			}
+		}
+		return false
+	}
+	matched := 0
+	for _, d := range ordered {
+		if try(d, make(map[int]bool)) {
+			matched++
+		}
+	}
+	return matched
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"kset/internal/checker"
+	"kset/internal/mpnet"
+	"kset/internal/protocols/mp"
+	"kset/internal/types"
+)
+
+// These tests explore the paper's closing open problem: "In most of our
+// protocols for the Byzantine failure model, processes are required to help
+// other processes by continually participating in the (echo) protocol...
+// It is currently open whether there exist terminating protocols for the
+// same settings." We run each protocol under HaltOnDecide (a process stops
+// for good once it decides) and record which survive.
+
+// TestOneShotProtocolsTerminateWhenHalting: FloodMin, Protocol A and
+// Protocol B broadcast once before any decision, so halting deciders
+// withhold nothing — they remain correct terminating protocols.
+func TestOneShotProtocolsTerminateWhenHalting(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, k, t int
+		v       types.Validity
+		byz     bool
+		factory func() mpnet.Protocol
+	}{
+		{"floodmin", 8, 3, 2, types.RV1, false, func() mpnet.Protocol { return mp.NewFloodMin() }},
+		{"protocolA", 8, 2, 3, types.RV2, false, func() mpnet.Protocol { return mp.NewProtocolA() }},
+		{"protocolB", 8, 3, 1, types.SV2, false, func() mpnet.Protocol { return mp.NewProtocolB() }},
+		{"protocolA-byz", 8, 4, 2, types.WV2, true, func() mpnet.Protocol { return mp.NewProtocolA() }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			s := &MPSweep{
+				Name: c.name, N: c.n, K: c.k, T: c.t,
+				Validity:     c.v,
+				NewProtocol:  func(types.ProcessID) mpnet.Protocol { return c.factory() },
+				Byzantine:    c.byz,
+				Runs:         64,
+				BaseSeed:     0xBEEF,
+				HaltOnDecide: true,
+			}
+			if sum := s.Execute(); !sum.OK() {
+				t.Errorf("one-shot protocol broke under halting: %v", sum)
+			}
+		})
+	}
+}
+
+// TestProtocolDLosesTerminationWhenHalting: Protocol D's own-deciders decide
+// during Start and, under halting, never echo anything. Acceptance needs
+// n-t identical echoes but only the n-k non-own-deciders ever echo, and
+// k >= Z(n,t) > t means n-k < n-t: the non-own-deciders can never decide.
+// This is a deterministic termination failure at every point with k < n —
+// the concrete content of the paper's "helping" remark for Protocol D.
+func TestProtocolDLosesTerminationWhenHalting(t *testing.T) {
+	rec, err := mpnet.Run(mpnet.Config{
+		N: 8, T: 2, K: 3, // k = Z(8,2) = 3, a solvable cell with helping
+		Inputs:       distinctValues(8),
+		NewProtocol:  func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolD() },
+		Seed:         1,
+		HaltOnDecide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := checker.CheckTermination(rec)
+	if verr == nil {
+		t.Fatal("Protocol D terminated under halting; expected the non-own-deciders to wedge")
+	}
+	if !errors.Is(verr, checker.ErrViolation) {
+		t.Fatalf("unexpected error type: %v", verr)
+	}
+	// The own-deciders (ids < k) did decide; everyone else is stuck.
+	for i := 0; i < rec.N; i++ {
+		wantDecided := i < rec.K
+		if rec.Decided[i] != wantDecided {
+			t.Errorf("process %d decided=%v, want %v", i, rec.Decided[i], wantDecided)
+		}
+	}
+}
+
+// TestProtocolCLosesTerminationWhenHalting: delay one process's init until
+// every other process has decided and halted; the halted processes consume
+// the init without echoing, so the slow process can never accumulate the
+// echo threshold for its own message and never decides. With helping
+// (HaltOnDecide off) the same schedule terminates.
+func TestProtocolCLosesTerminationWhenHalting(t *testing.T) {
+	const n, k, tt = 8, 3, 1
+	slow := types.ProcessID(n - 1)
+	mkCfg := func(halt bool) mpnet.Config {
+		return mpnet.Config{
+			N: n, T: tt, K: k,
+			Inputs:       uniformValues(n, 4),
+			NewProtocol:  func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolC(1) },
+			Scheduler:    mpnet.NewDelayProcess(n, slow),
+			Seed:         5,
+			HaltOnDecide: halt,
+		}
+	}
+
+	withHelp, err := mpnet.Run(mkCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := checker.CheckAll(withHelp, types.SV2); verr != nil {
+		t.Fatalf("helping run should satisfy everything: %v", verr)
+	}
+
+	halting, err := mpnet.Run(mkCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := checker.CheckTermination(halting); verr == nil {
+		t.Fatal("halting run terminated; expected the delayed process to wedge")
+	}
+	if halting.Decided[slow] {
+		t.Error("the delayed process decided without its echoes")
+	}
+}
+
+func distinctValues(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.Value(i + 1)
+	}
+	return out
+}
+
+func uniformValues(n int, v types.Value) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+
+	"kset/internal/adversary"
+	"kset/internal/checker"
+	"kset/internal/mpnet"
+	"kset/internal/prng"
+	"kset/internal/types"
+)
+
+// MPSweep runs a message-passing protocol across Runs randomized adversarial
+// scenarios at one (n, k, t) point and checks termination, agreement and the
+// validity condition on every run.
+type MPSweep struct {
+	// Name labels the sweep in summaries.
+	Name string
+	// N, K, T are the problem parameters.
+	N, K, T int
+	// Validity is the condition to check.
+	Validity types.Validity
+	// NewProtocol builds the protocol under test for each correct process.
+	NewProtocol func(id types.ProcessID) mpnet.Protocol
+	// Byzantine selects Byzantine strategy mixes for the faulty processes;
+	// false selects crash scenarios.
+	Byzantine bool
+	// Runs is the number of randomized runs (default 32).
+	Runs int
+	// BaseSeed seeds the scenario stream; each run derives its own seed.
+	BaseSeed uint64
+	// Patterns restricts input workloads (nil = all patterns).
+	Patterns []InputPattern
+	// MaxEvents overrides the per-run event budget (0 = runtime default).
+	MaxEvents int
+	// HaltOnDecide runs every scenario under terminating-protocol
+	// semantics: processes stop executing once they decide. See the
+	// halting experiments for which protocols survive this.
+	HaltOnDecide bool
+}
+
+// Execute runs the sweep.
+func (s *MPSweep) Execute() *Summary {
+	runs := s.Runs
+	if runs == 0 {
+		runs = 32
+	}
+	patterns := s.Patterns
+	if len(patterns) == 0 {
+		patterns = AllPatterns()
+	}
+	sum := &Summary{Name: s.Name, Runs: runs}
+	master := prng.New(s.BaseSeed)
+	for i := 0; i < runs; i++ {
+		seed := master.Uint64()
+		rng := prng.New(seed)
+		cfg, scenario := s.plan(rng, patterns, seed)
+		rec, err := mpnet.Run(cfg)
+		if err != nil {
+			sum.addRunError(RunOutcome{Seed: seed, Scenario: scenario, Err: err})
+			continue
+		}
+		sum.Events += int64(rec.Events)
+		sum.Messages += int64(rec.Messages)
+		sum.observe(rec)
+		if err := checker.CheckAll(rec, s.Validity); err != nil {
+			sum.addViolation(RunOutcome{Seed: seed, Scenario: scenario, Err: err, Record: rec})
+		}
+	}
+	return sum
+}
+
+// plan derives one scenario from the run's random stream.
+func (s *MPSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (mpnet.Config, string) {
+	n, t := s.N, s.T
+	// Plan the faulty set: usually the full budget t (worst case), sometimes
+	// fewer, sometimes none.
+	f := t
+	switch rng.Intn(4) {
+	case 0:
+		if t > 0 {
+			f = rng.Intn(t + 1)
+		}
+	case 1:
+		f = 0
+	}
+	faulty := make([]bool, n)
+	for _, idx := range rng.Perm(n)[:f] {
+		faulty[idx] = true
+	}
+
+	pattern := patterns[rng.Intn(len(patterns))]
+	inputs := GenInputs(pattern, n, faulty, rng)
+
+	cfg := mpnet.Config{
+		N: n, T: t, K: s.K,
+		Inputs:       inputs,
+		NewProtocol:  s.NewProtocol,
+		Seed:         rng.Uint64(),
+		MaxEvents:    s.MaxEvents,
+		HaltOnDecide: s.HaltOnDecide,
+	}
+
+	schedName := "fair"
+	switch rng.Intn(6) {
+	case 0:
+		cfg.Scheduler = mpnet.FIFO{}
+		schedName = "fifo"
+	case 1:
+		cfg.Scheduler = randomPartitionGate(n, rng)
+		schedName = "partition"
+	case 2:
+		cfg.Scheduler = mpnet.LIFO{}
+		schedName = "lifo"
+	case 3:
+		cfg.Scheduler = mpnet.ChannelFIFO{}
+		schedName = "channel-fifo"
+	default:
+		cfg.Scheduler = mpnet.FairRandom{}
+	}
+
+	advName := "none"
+	if s.Byzantine {
+		cfg.Byzantine = make(map[types.ProcessID]mpnet.Protocol, f)
+		for i := 0; i < n; i++ {
+			if !faulty[i] {
+				continue
+			}
+			strat, name := randomByzStrategy(n, rng)
+			cfg.Byzantine[types.ProcessID(i)] = strat
+			advName = name // last one labels the scenario
+		}
+		if f == 0 {
+			advName = "none"
+		}
+	} else if f > 0 {
+		switch rng.Intn(2) {
+		case 0:
+			crash := &mpnet.ScriptedCrashes{
+				AtEvent: make(map[types.ProcessID]int),
+				AtSend:  make(map[types.ProcessID]int),
+			}
+			for i := 0; i < n; i++ {
+				if !faulty[i] {
+					continue
+				}
+				if rng.Bool() {
+					crash.AtEvent[types.ProcessID(i)] = rng.Intn(3 * n)
+				} else {
+					// Truncate a broadcast mid-flight.
+					crash.AtSend[types.ProcessID(i)] = rng.Intn(2*n) + 1
+				}
+			}
+			cfg.Crash = crash
+			advName = "scripted-crash"
+		default:
+			cfg.Crash = mpnet.NewRandomCrashes(2.0/float64(n), rng.Uint64())
+			advName = "random-crash"
+		}
+	}
+
+	scenario := fmt.Sprintf("pattern=%s sched=%s adv=%s f=%d seed=%d", pattern, schedName, advName, f, seed)
+	return cfg, scenario
+}
+
+// randomPartitionGate builds a GroupGate over a random partition into 2..4
+// groups.
+func randomPartitionGate(n int, rng *prng.Source) *mpnet.GroupGate {
+	groupCount := rng.Intn(3) + 2
+	if groupCount > n {
+		groupCount = n
+	}
+	groups := make([][]types.ProcessID, groupCount)
+	for _, idx := range rng.Perm(n) {
+		g := rng.Intn(groupCount)
+		groups[g] = append(groups[g], types.ProcessID(idx))
+	}
+	return mpnet.NewGroupGate(n, groups)
+}
+
+// randomByzStrategy picks one Byzantine strategy with random parameters.
+func randomByzStrategy(n int, rng *prng.Source) (mpnet.Protocol, string) {
+	personas := func() map[types.ProcessID]types.Value {
+		m := make(map[types.ProcessID]types.Value, n)
+		domain := rng.Intn(4) + 2
+		for i := 0; i < n; i++ {
+			m[types.ProcessID(i)] = types.Value(rng.Intn(domain) + 1)
+		}
+		return m
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return adversary.Silent{}, "silent"
+	case 1:
+		return adversary.NewPersonaInput(personas(), 1), "persona-input"
+	case 2:
+		return adversary.NewPersonaEcho(personas(), 1), "persona-echo"
+	case 3:
+		return adversary.NewEchoSplitter(types.Value(rng.Intn(100))), "echo-splitter"
+	default:
+		return adversary.NewRandomNoise(rng.Intn(3) + 1), "random-noise"
+	}
+}
+
+// RunConstruction executes one scripted counterexample and returns the first
+// condition violation it exhibits (nil if, unexpectedly, all conditions
+// held). Deterministic constructions violate on the first seed; seed
+// variation is provided for the few that need scheduling luck.
+func RunConstruction(c *adversary.MPConstruction, seeds int) (*RunOutcome, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	for i := 0; i < seeds; i++ {
+		cfg := c.FreshConfig()
+		cfg.Seed = uint64(i)*2654435761 + 1
+		rec, err := mpnet.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: construction %s failed to run: %w", c.Name, err)
+		}
+		if err := checker.CheckAll(rec, c.Validity); err != nil {
+			return &RunOutcome{Seed: cfg.Seed, Scenario: c.Name, Err: err, Record: rec}, nil
+		}
+	}
+	return nil, nil
+}

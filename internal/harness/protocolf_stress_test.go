@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"testing"
+
+	"kset/internal/protocols/sm"
+	"kset/internal/smmem"
+	"kset/internal/types"
+)
+
+// TestProtocolFOwnDecidersAreTimeCapped stresses the subtlest step of
+// Lemma 4.7's proof: a process can decide its own value only via a scan of
+// r <= t+1 registers (r <= t directly, or r = t+1 with the single-vote
+// rule), and every own-decider writes before scanning — so by the time the
+// (t+2)-nd distinct write completes, small scans are gone forever and at
+// most t+1 processes can ever own-decide. The adversarial sweep below (all
+// distinct inputs, so every own-decision is a distinct value) tries hard to
+// exceed it: with k = t+2 every run must stay within t+1 own-decisions plus
+// the default.
+func TestProtocolFOwnDecidersAreTimeCapped(t *testing.T) {
+	runs := 300
+	if testing.Short() {
+		runs = 60
+	}
+	points := []struct{ n, t int }{
+		{5, 2}, // n <= 2t+1: the r = t+1 single-vote scan is live
+		{6, 2},
+		{7, 3},
+	}
+	for _, p := range points {
+		p := p
+		k := p.t + 2
+		s := &SMSweep{
+			Name: "protocolF-own-cap", N: p.n, K: k, T: p.t,
+			Validity:    types.SV2,
+			NewProtocol: func(types.ProcessID) smmem.Protocol { return sm.NewProtocolF() },
+			Runs:        runs,
+			BaseSeed:    0xF0F0,
+			Patterns:    []InputPattern{Distinct}, // own-decisions all distinct
+		}
+		sum := s.Execute()
+		if !sum.OK() {
+			t.Errorf("n=%d t=%d: %v", p.n, p.t, sum)
+		}
+		// The cap is t+1 own values plus possibly the default: never more
+		// than t+2 = k distinct, and the sweep should not even observe
+		// more than k.
+		if got := sum.MaxDistinct(); got > k {
+			t.Errorf("n=%d t=%d: observed %d distinct decisions, cap is %d", p.n, p.t, got, k)
+		}
+	}
+}

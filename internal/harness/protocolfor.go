@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"kset/internal/mpnet"
+	"kset/internal/protocols/mp"
+	"kset/internal/protocols/sm"
+	"kset/internal/smmem"
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// ErrNoWitness reports a classification with no runnable witness protocol
+// (an impossible or open cell).
+var ErrNoWitness = errors.New("harness: classification has no witness protocol")
+
+// MPFactory builds the per-process protocol factory for the witness protocol
+// of a solvable message-passing cell. The t parameter is needed by Protocol
+// D's proof-count variant; pass the cell's t.
+func MPFactory(r theory.Result) (func(types.ProcessID) mpnet.Protocol, error) {
+	if r.Status != theory.Solvable || r.ViaSimulation {
+		return nil, fmt.Errorf("%w: %s %q", ErrNoWitness, r.Status, r.Protocol)
+	}
+	return mpFactoryByID(r.Proto, r.EchoEll)
+}
+
+func mpFactoryByID(id theory.ProtocolID, ell int) (func(types.ProcessID) mpnet.Protocol, error) {
+	switch id {
+	case theory.ProtoTrivial:
+		return func(types.ProcessID) mpnet.Protocol { return mp.NewTrivial() }, nil
+	case theory.ProtoFloodMin:
+		return func(types.ProcessID) mpnet.Protocol { return mp.NewFloodMin() }, nil
+	case theory.ProtoA:
+		return func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolA() }, nil
+	case theory.ProtoB:
+		return func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolB() }, nil
+	case theory.ProtoC:
+		if ell < 1 {
+			return nil, fmt.Errorf("%w: Protocol C needs l >= 1, got %d", ErrNoWitness, ell)
+		}
+		return func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolC(ell) }, nil
+	case theory.ProtoD:
+		return func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolD() }, nil
+	default:
+		return nil, fmt.Errorf("%w: %v is not a message-passing protocol", ErrNoWitness, id)
+	}
+}
+
+// SMFactory builds the per-process protocol factory for the witness protocol
+// of a solvable shared-memory cell, wrapping message-passing witnesses in
+// the SIMULATION transformation when the classification says so.
+func SMFactory(r theory.Result) (func(types.ProcessID) smmem.Protocol, error) {
+	if r.Status != theory.Solvable {
+		return nil, fmt.Errorf("%w: %s", ErrNoWitness, r.Status)
+	}
+	if r.ViaSimulation {
+		inner, err := mpFactoryByID(r.Proto, r.EchoEll)
+		if err != nil {
+			return nil, err
+		}
+		return func(id types.ProcessID) smmem.Protocol { return sm.NewSimulation(inner(id)) }, nil
+	}
+	switch r.Proto {
+	case theory.ProtoE:
+		return func(types.ProcessID) smmem.Protocol { return sm.NewProtocolE() }, nil
+	case theory.ProtoF:
+		return func(types.ProcessID) smmem.Protocol { return sm.NewProtocolF() }, nil
+	default:
+		return nil, fmt.Errorf("%w: %v is not a shared-memory protocol", ErrNoWitness, r.Proto)
+	}
+}
+
+// ValidateCell empirically validates one solvable cell of a figure panel: it
+// instantiates the witness protocol and sweeps randomized adversarial
+// scenarios, checking every run. Runs controls the sweep size.
+func ValidateCell(m types.Model, v types.Validity, n, k, t, runs int, seed uint64) (*Summary, error) {
+	r := theory.Classify(m, v, n, k, t)
+	if r.Status != theory.Solvable {
+		return nil, fmt.Errorf("%w: cell %v/%v n=%d k=%d t=%d is %v", ErrNoWitness, m, v, n, k, t, r.Status)
+	}
+	name := fmt.Sprintf("%v/%v n=%d k=%d t=%d via %s", m, v, n, k, t, r.Protocol)
+	switch m.Comm {
+	case types.MessagePassing:
+		factory, err := MPFactory(r)
+		if err != nil {
+			return nil, err
+		}
+		s := &MPSweep{
+			Name: name, N: n, K: k, T: t, Validity: v,
+			NewProtocol: factory,
+			Byzantine:   m.Failure == types.Byzantine,
+			Runs:        runs,
+			BaseSeed:    seed,
+		}
+		return s.Execute(), nil
+	case types.SharedMemory:
+		factory, err := SMFactory(r)
+		if err != nil {
+			return nil, err
+		}
+		s := &SMSweep{
+			Name: name, N: n, K: k, T: t, Validity: v,
+			NewProtocol: factory,
+			Byzantine:   m.Failure == types.Byzantine,
+			Runs:        runs,
+			BaseSeed:    seed,
+		}
+		return s.Execute(), nil
+	default:
+		return nil, fmt.Errorf("%w: %v", types.ErrUnknownModel, m)
+	}
+}

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"fmt"
+
+	"kset/internal/adversary"
+	"kset/internal/checker"
+	"kset/internal/prng"
+	"kset/internal/smmem"
+	"kset/internal/types"
+)
+
+// SMSweep runs a shared-memory protocol across Runs randomized adversarial
+// scenarios at one (n, k, t) point and checks termination, agreement and the
+// validity condition on every run.
+type SMSweep struct {
+	// Name labels the sweep in summaries.
+	Name string
+	// N, K, T are the problem parameters.
+	N, K, T int
+	// Validity is the condition to check.
+	Validity types.Validity
+	// NewProtocol builds the protocol under test for each correct process.
+	NewProtocol func(id types.ProcessID) smmem.Protocol
+	// Byzantine selects Byzantine strategy mixes; false selects crashes.
+	Byzantine bool
+	// Runs is the number of randomized runs (default 32).
+	Runs int
+	// BaseSeed seeds the scenario stream.
+	BaseSeed uint64
+	// Patterns restricts input workloads (nil = all patterns).
+	Patterns []InputPattern
+	// MaxOps overrides the per-run operation budget (0 = runtime default).
+	MaxOps int
+}
+
+// Execute runs the sweep.
+func (s *SMSweep) Execute() *Summary {
+	runs := s.Runs
+	if runs == 0 {
+		runs = 32
+	}
+	patterns := s.Patterns
+	if len(patterns) == 0 {
+		patterns = AllPatterns()
+	}
+	sum := &Summary{Name: s.Name, Runs: runs}
+	master := prng.New(s.BaseSeed)
+	for i := 0; i < runs; i++ {
+		seed := master.Uint64()
+		rng := prng.New(seed)
+		cfg, scenario := s.plan(rng, patterns, seed)
+		rec, err := smmem.Run(cfg)
+		if err != nil {
+			sum.addRunError(RunOutcome{Seed: seed, Scenario: scenario, Err: err})
+			continue
+		}
+		sum.Events += int64(rec.Events)
+		sum.observe(rec)
+		if err := checker.CheckAll(rec, s.Validity); err != nil {
+			sum.addViolation(RunOutcome{Seed: seed, Scenario: scenario, Err: err, Record: rec})
+		}
+	}
+	return sum
+}
+
+// plan derives one scenario from the run's random stream.
+func (s *SMSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (smmem.Config, string) {
+	n, t := s.N, s.T
+	f := t
+	switch rng.Intn(4) {
+	case 0:
+		if t > 0 {
+			f = rng.Intn(t + 1)
+		}
+	case 1:
+		f = 0
+	}
+	faulty := make([]bool, n)
+	faultyIDs := make([]types.ProcessID, 0, f)
+	for _, idx := range rng.Perm(n)[:f] {
+		faulty[idx] = true
+		faultyIDs = append(faultyIDs, types.ProcessID(idx))
+	}
+
+	pattern := patterns[rng.Intn(len(patterns))]
+	inputs := GenInputs(pattern, n, faulty, rng)
+
+	cfg := smmem.Config{
+		N: n, T: t, K: s.K,
+		Inputs:      inputs,
+		NewProtocol: s.NewProtocol,
+		Seed:        rng.Uint64(),
+		MaxOps:      s.MaxOps,
+	}
+
+	// Subsets used by Hold/Starve must stay within the fault budget so
+	// spinning protocols (F, SIMULATION pollers) are never wedged by a
+	// legal schedule: at most t processes may be delayed arbitrarily long
+	// without blocking the rest.
+	delaySet := func() []types.ProcessID {
+		size := rng.Intn(t + 1)
+		ids := make([]types.ProcessID, 0, size)
+		for _, idx := range rng.Perm(n)[:size] {
+			ids = append(ids, types.ProcessID(idx))
+		}
+		return ids
+	}
+
+	// Delaying schedules must eventually release (the model allows only
+	// finite delay); give them a deadline well under the op budget.
+	release := 64*n*n + n
+
+	schedName := "fair"
+	switch rng.Intn(5) {
+	case 0:
+		cfg.Scheduler = &smmem.RoundRobin{}
+		schedName = "round-robin"
+	case 1:
+		held := delaySet()
+		var watch []types.ProcessID
+		heldSet := make(map[types.ProcessID]bool, len(held))
+		for _, p := range held {
+			heldSet[p] = true
+		}
+		for i := 0; i < n; i++ {
+			if !heldSet[types.ProcessID(i)] {
+				watch = append(watch, types.ProcessID(i))
+			}
+		}
+		hold := smmem.NewHold(n, held, watch)
+		hold.ReleaseAtOps = release
+		cfg.Scheduler = hold
+		schedName = "hold"
+	case 2:
+		starve := smmem.NewStarve(n, delaySet()...)
+		starve.ReleaseAtOps = release
+		cfg.Scheduler = starve
+		schedName = "starve"
+	default:
+		cfg.Scheduler = smmem.FairRandom{}
+	}
+
+	advName := "none"
+	if s.Byzantine {
+		cfg.Byzantine = make(map[types.ProcessID]smmem.Protocol, f)
+		for _, id := range faultyIDs {
+			strat, name := randomSMByzStrategy(n, rng)
+			cfg.Byzantine[id] = strat
+			advName = name
+		}
+		if f == 0 {
+			advName = "none"
+		}
+	} else if f > 0 {
+		switch rng.Intn(2) {
+		case 0:
+			crash := &smmem.ScriptedCrashes{AtOp: make(map[types.ProcessID]int)}
+			for _, id := range faultyIDs {
+				crash.AtOp[id] = rng.Intn(4 * n)
+			}
+			cfg.Crash = crash
+			advName = "scripted-crash"
+		default:
+			cfg.Crash = smmem.NewRandomCrashes(2.0/float64(4*n), prng.New(rng.Uint64()))
+			advName = "random-crash"
+		}
+	}
+
+	scenario := fmt.Sprintf("pattern=%s sched=%s adv=%s f=%d seed=%d", pattern, schedName, advName, f, seed)
+	return cfg, scenario
+}
+
+// randomSMByzStrategy picks one shared-memory Byzantine strategy: a native
+// garbage writer, or a simulated message-passing attack run through the
+// paper's SIMULATION transformation.
+func randomSMByzStrategy(n int, rng *prng.Source) (smmem.Protocol, string) {
+	switch rng.Intn(4) {
+	case 0:
+		return adversary.NewGarbageWriter(rng.Intn(64) + 16), "garbage-writer"
+	case 1:
+		personas := make(map[types.ProcessID]types.Value, n)
+		domain := rng.Intn(4) + 2
+		for i := 0; i < n; i++ {
+			personas[types.ProcessID(i)] = types.Value(rng.Intn(domain) + 1)
+		}
+		return adversary.SMPersona(adversary.NewPersonaInput(personas, 1)), "sim-persona-input"
+	case 2:
+		personas := make(map[types.ProcessID]types.Value, n)
+		for i := 0; i < n; i++ {
+			personas[types.ProcessID(i)] = types.Value(rng.Intn(3) + 1)
+		}
+		return adversary.SMPersona(adversary.NewPersonaEcho(personas, 1)), "sim-persona-echo"
+	default:
+		return adversary.SMPersona(adversary.Silent{}), "sim-silent"
+	}
+}
+
+// RunSMConstruction executes one scripted shared-memory counterexample and
+// returns the first condition violation it exhibits.
+func RunSMConstruction(c *adversary.SMConstruction, seeds int) (*RunOutcome, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	for i := 0; i < seeds; i++ {
+		cfg := c.Config
+		cfg.Seed = uint64(i)*2654435761 + 1
+		rec, err := smmem.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: construction %s failed to run: %w", c.Name, err)
+		}
+		if err := checker.CheckAll(rec, c.Validity); err != nil {
+			return &RunOutcome{Seed: cfg.Seed, Scenario: c.Name, Err: err, Record: rec}, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"testing"
+
+	"kset/internal/mpnet"
+	"kset/internal/protocols/mp"
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// TestProtocolDVariantsAgreeInClaimedRegion is the permanent form of the
+// Protocol D erratum experiment (DESIGN.md §5, EXPERIMENTS.md): the paper's
+// text has p1..pk deciding their own values while the proof counts only the
+// t+1 broadcasters. Both variants are swept at points where Z(n,t) > t+1
+// (so the variants actually differ) with Byzantine adversary mixes; both
+// must satisfy SC(k, t, WV1) for k = Z(n, t).
+func TestProtocolDVariantsAgreeInClaimedRegion(t *testing.T) {
+	runs := 120
+	if testing.Short() {
+		runs = 24
+	}
+	points := []struct{ n, t int }{{9, 4}, {10, 4}, {12, 5}}
+	for _, p := range points {
+		p := p
+		k := theory.Z(p.n, p.t)
+		if k <= p.t+1 {
+			t.Fatalf("n=%d t=%d: Z=%d does not separate the variants", p.n, p.t, k)
+		}
+		variants := []struct {
+			name string
+			mk   func() mpnet.Protocol
+		}{
+			{"text-k-deciders", func() mpnet.Protocol { return mp.NewProtocolD() }},
+			{"proof-t+1-deciders", func() mpnet.Protocol { return mp.NewProtocolDBroadcasters(p.t) }},
+		}
+		for _, v := range variants {
+			v := v
+			t.Run(v.name+"/n"+itoa(p.n)+"t"+itoa(p.t), func(t *testing.T) {
+				t.Parallel()
+				s := &MPSweep{
+					Name: v.name, N: p.n, K: k, T: p.t,
+					Validity:    types.WV1,
+					NewProtocol: func(types.ProcessID) mpnet.Protocol { return v.mk() },
+					Byzantine:   true,
+					Runs:        runs,
+					BaseSeed:    0xD1234,
+				}
+				if sum := s.Execute(); !sum.OK() {
+					t.Errorf("variant violated conditions: %v", sum)
+				}
+			})
+		}
+	}
+}
+
+// TestAgreementTightnessTypicalCase measures how many distinct values are
+// actually decided, versus the worst-case bound k the paper proves. The
+// paper's bounds are exact in the worst case; typical adversarial runs stay
+// well below them except for protocols that are worst-case-tight by design.
+func TestAgreementTightnessTypicalCase(t *testing.T) {
+	runs := 200
+	if testing.Short() {
+		runs = 40
+	}
+	cases := []struct {
+		name        string
+		n, k, tt    int
+		v           types.Validity
+		factory     func() mpnet.Protocol
+		maxExpected int // observed maximum must stay within this
+	}{
+		// FloodMin's worst case is t+1 = k distinct; typical runs with
+		// partitions do reach it.
+		{"floodmin", 10, 5, 4, types.RV1,
+			func() mpnet.Protocol { return mp.NewFloodMin() }, 5},
+		// Protocol A decides at most {unanimous value(s), default}; with
+		// partitions several group values can coexist.
+		{"protocolA", 10, 3, 2, types.RV2,
+			func() mpnet.Protocol { return mp.NewProtocolA() }, 3},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			s := &MPSweep{
+				Name: c.name, N: c.n, K: c.k, T: c.tt,
+				Validity:    c.v,
+				NewProtocol: func(types.ProcessID) mpnet.Protocol { return c.factory() },
+				Runs:        runs,
+				BaseSeed:    0x71657,
+			}
+			sum := s.Execute()
+			if !sum.OK() {
+				t.Fatalf("sweep failed: %v", sum)
+			}
+			if got := sum.MaxDistinct(); got > c.maxExpected {
+				t.Errorf("observed %d distinct decisions, expected at most %d", got, c.maxExpected)
+			}
+			if mean := sum.MeanDistinct(); mean <= 0 || mean > float64(c.k) {
+				t.Errorf("mean distinct decisions %v outside (0, k]", mean)
+			}
+			if len(sum.DistinctDecisions) == 0 {
+				t.Error("no distribution recorded")
+			}
+		})
+	}
+}
+
+// TestDefaultDecisionAccounting: Protocol A with guaranteed-mixed inputs and
+// no failures makes every process decide the default value, and the summary
+// counts them.
+func TestDefaultDecisionAccounting(t *testing.T) {
+	const n = 6
+	s := &MPSweep{
+		Name: "defaults", N: n, K: n - 1, T: 1,
+		Validity:    types.WV2,
+		NewProtocol: func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolA() },
+		Runs:        10,
+		BaseSeed:    5,
+		Patterns:    []InputPattern{Distinct}, // all-distinct: never unanimous
+	}
+	sum := s.Execute()
+	if !sum.OK() {
+		t.Fatalf("sweep failed: %v", sum)
+	}
+	if sum.DefaultDecisions == 0 {
+		t.Error("distinct-input Protocol A runs must produce default decisions")
+	}
+	// All-distinct inputs with n-t >= 2 messages can never be unanimous,
+	// so every correct decision is the default.
+	for d := range sum.DistinctDecisions {
+		if d > 1 {
+			t.Errorf("%d distinct decisions in an all-default sweep", d)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package mpnet
+
+import (
+	"errors"
+	"fmt"
+
+	"kset/internal/prng"
+	"kset/internal/types"
+)
+
+// DefaultEventBudgetFactor scales the default event budget: budget =
+// factor * n * n + n. Every protocol in the paper sends O(n^2) messages
+// (O(n^3) for the echo protocols), so the default is generous; runs that
+// exhaust it under a fair scheduler have genuinely failed to terminate.
+const DefaultEventBudgetFactor = 64
+
+// Config describes one simulated run.
+type Config struct {
+	N int // number of processes, n >= 1
+	T int // declared failure bound
+	K int // agreement bound
+
+	// Inputs are the process input values; len(Inputs) must equal N.
+	Inputs []types.Value
+
+	// NewProtocol constructs the protocol instance for a correct process.
+	NewProtocol func(id types.ProcessID) Protocol
+
+	// Byzantine maps faulty process ids to their strategies. Processes
+	// listed here count against the fault budget T and are marked faulty
+	// in the run record.
+	Byzantine map[types.ProcessID]Protocol
+
+	// Crash injects crash failures; nil means no crashes.
+	Crash CrashAdversary
+
+	// Scheduler chooses delivery order; nil means FairRandom.
+	Scheduler Scheduler
+
+	// Seed drives every random choice in the run.
+	Seed uint64
+
+	// MaxEvents caps deliveries; 0 selects the default budget.
+	MaxEvents int
+
+	// HaltOnDecide makes every correct process stop executing after the
+	// step in which it decides — the "terminating protocol" semantics the
+	// paper's conclusion leaves open for the Byzantine setting. Messages
+	// addressed to a halted process are consumed without effect. Protocols
+	// that rely on deciders continuing to help (the echo-based Protocols
+	// C(l) and D) lose termination under this mode; see the harness's
+	// halting experiments.
+	HaltOnDecide bool
+
+	// Trace, if non-nil, observes every event (sends, deliveries, crashes,
+	// decisions).
+	Trace func(TraceEvent)
+}
+
+// Errors reported by Run for misconfigured or buggy setups (as opposed to
+// condition violations, which are the checker's concern).
+var (
+	ErrBadConfig      = errors.New("mpnet: invalid configuration")
+	ErrDoubleDecide   = errors.New("mpnet: correct process decided twice")
+	ErrFaultBudget    = errors.New("mpnet: adversary exceeded fault budget")
+	ErrBadSchedule    = errors.New("mpnet: scheduler returned invalid index")
+	ErrBadDestination = errors.New("mpnet: send to invalid process id")
+)
+
+type process struct {
+	id        types.ProcessID
+	proto     Protocol
+	input     types.Value
+	rng       *prng.Source
+	decided   bool
+	decision  types.Value
+	decidedAt int
+	crashed   bool
+	byz       bool
+	events    int // deliveries processed (Start included)
+	sends     int // transmissions performed
+	// selfQueue holds payloads this process sent to itself; they are
+	// delivered immediately after the current handler returns.
+	selfQueue []types.Payload
+}
+
+type runtime struct {
+	cfg      Config
+	n, t, k  int
+	procs    []*process
+	inflight []Envelope
+	view     View
+	rng      *prng.Source
+	seq      int
+	budget   int
+	sched    Scheduler
+	err      error // first protocol/config bug detected mid-run
+
+	// compactNeeded is set when a crash may have left in-flight messages
+	// addressed to a dead process; compact() scans only then.
+	compactNeeded   bool
+	budgetExhausted bool
+}
+
+// api adapts a process to the API interface.
+type api struct {
+	rt *runtime
+	p  *process
+}
+
+var _ API = (*api)(nil)
+
+func (a *api) ID() types.ProcessID { return a.p.id }
+func (a *api) N() int              { return a.rt.n }
+func (a *api) T() int              { return a.rt.t }
+func (a *api) K() int              { return a.rt.k }
+func (a *api) Input() types.Value  { return a.p.input }
+func (a *api) HasDecided() bool    { return a.p.decided }
+func (a *api) Rand() *prng.Source  { return a.p.rng }
+
+func (a *api) Send(to types.ProcessID, p types.Payload) {
+	a.rt.send(a.p, to, p)
+}
+
+func (a *api) Broadcast(p types.Payload) {
+	for to := 0; to < a.rt.n; to++ {
+		if a.p.crashed {
+			return // crashed mid-broadcast
+		}
+		a.rt.send(a.p, types.ProcessID(to), p)
+	}
+}
+
+func (a *api) Decide(v types.Value) {
+	p := a.p
+	if p.decided {
+		if !p.byz && !p.crashed && a.rt.err == nil {
+			a.rt.err = fmt.Errorf("%w: %s decided %d after deciding %d",
+				ErrDoubleDecide, p.id, v, p.decision)
+		}
+		return
+	}
+	p.decided = true
+	p.decision = v
+	p.decidedAt = a.rt.view.Events
+	a.rt.view.Decided[p.id] = true
+	a.rt.trace(TraceEvent{Type: EvDecide, Proc: p.id, Value: v})
+}
+
+// Run executes one simulated run to quiescence, event-budget exhaustion, or
+// all-correct-decided, and returns the run record. The returned error
+// reports configuration or protocol bugs, never consensus-condition
+// violations.
+func Run(cfg Config) (*types.RunRecord, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	rt := newRuntime(cfg)
+	if err := rt.run(); err != nil {
+		return nil, err
+	}
+	return rt.record(), nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.N <= 0 {
+		return fmt.Errorf("%w: n=%d", ErrBadConfig, cfg.N)
+	}
+	if len(cfg.Inputs) != cfg.N {
+		return fmt.Errorf("%w: %d inputs for n=%d", ErrBadConfig, len(cfg.Inputs), cfg.N)
+	}
+	if cfg.T < 0 || cfg.K <= 0 {
+		return fmt.Errorf("%w: t=%d k=%d", ErrBadConfig, cfg.T, cfg.K)
+	}
+	if cfg.NewProtocol == nil {
+		return fmt.Errorf("%w: NewProtocol is nil", ErrBadConfig)
+	}
+	if len(cfg.Byzantine) > cfg.T {
+		return fmt.Errorf("%w: %d Byzantine processes exceed t=%d",
+			ErrFaultBudget, len(cfg.Byzantine), cfg.T)
+	}
+	for id := range cfg.Byzantine {
+		if int(id) < 0 || int(id) >= cfg.N {
+			return fmt.Errorf("%w: Byzantine id %d out of range", ErrBadConfig, id)
+		}
+	}
+	return nil
+}
+
+func newRuntime(cfg Config) *runtime {
+	n := cfg.N
+	rt := &runtime{
+		cfg: cfg,
+		n:   n, t: cfg.T, k: cfg.K,
+		rng:    prng.New(cfg.Seed),
+		budget: cfg.MaxEvents,
+		sched:  cfg.Scheduler,
+	}
+	if rt.budget == 0 {
+		rt.budget = DefaultEventBudgetFactor*n*n + n
+	}
+	if rt.sched == nil {
+		rt.sched = FairRandom{}
+	}
+	rt.view = View{
+		N: n, T: cfg.T, K: cfg.K,
+		Decided: make([]bool, n),
+		Crashed: make([]bool, n),
+		Faulty:  make([]bool, n),
+	}
+	rt.procs = make([]*process, n)
+	for i := 0; i < n; i++ {
+		id := types.ProcessID(i)
+		p := &process{
+			id:    id,
+			input: cfg.Inputs[i],
+			rng:   rt.rng.Split(),
+		}
+		if strat, ok := cfg.Byzantine[id]; ok {
+			p.proto = strat
+			p.byz = true
+			rt.view.Faulty[i] = true
+		} else {
+			p.proto = cfg.NewProtocol(id)
+		}
+		rt.procs[i] = p
+	}
+	return rt
+}
+
+func (rt *runtime) trace(ev TraceEvent) {
+	if rt.cfg.Trace != nil {
+		ev.EventIndex = rt.view.Events
+		rt.cfg.Trace(ev)
+	}
+}
+
+// faultCount returns crashed + Byzantine processes.
+func (rt *runtime) faultCount() int {
+	c := 0
+	for _, p := range rt.procs {
+		if p.crashed || p.byz {
+			c++
+		}
+	}
+	return c
+}
+
+// mayCrash reports whether the adversary is still within budget to crash a
+// currently-correct process.
+func (rt *runtime) mayCrash(p *process) bool {
+	if p.crashed {
+		return false
+	}
+	if p.byz {
+		return false // Byzantine processes already count as faulty
+	}
+	return rt.faultCount() < rt.t
+}
+
+func (rt *runtime) crash(p *process) {
+	p.crashed = true
+	rt.view.Crashed[p.id] = true
+	rt.view.Faulty[p.id] = true
+	// Messages already in flight from p stay in flight: they were handed to
+	// the network before the crash. Messages addressed to p will be
+	// discarded at delivery.
+	rt.compactNeeded = true
+	rt.trace(TraceEvent{Type: EvCrash, Proc: p.id})
+}
+
+func (rt *runtime) send(from *process, to types.ProcessID, payload types.Payload) {
+	if from.crashed {
+		return
+	}
+	if int(to) < 0 || int(to) >= rt.n {
+		if rt.err == nil {
+			rt.err = fmt.Errorf("%w: %s sent to %d", ErrBadDestination, from.id, to)
+		}
+		return
+	}
+	if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(from) &&
+		adv.CrashDuringSend(&rt.view, from.id, to, from.sends) {
+		rt.crash(from)
+		return
+	}
+	from.sends++
+	rt.view.Messages++
+	rt.trace(TraceEvent{Type: EvSend, Proc: from.id, Peer: to, Payload: payload})
+	if to == from.id {
+		from.selfQueue = append(from.selfQueue, payload)
+		return
+	}
+	rt.inflight = append(rt.inflight, Envelope{From: from.id, To: to, Payload: payload, Seq: rt.seq})
+	rt.seq++
+}
+
+// dispatch runs a protocol handler and then drains the process's self-queue,
+// so a process hears its own broadcasts immediately but without handler
+// reentrancy.
+func (rt *runtime) dispatch(p *process, f func(a *api)) {
+	a := &api{rt: rt, p: p}
+	f(a)
+	for len(p.selfQueue) > 0 && !p.crashed && !rt.halted(p) {
+		payload := p.selfQueue[0]
+		p.selfQueue = p.selfQueue[1:]
+		rt.trace(TraceEvent{Type: EvDeliver, Proc: p.id, Peer: p.id, Payload: payload})
+		p.proto.Deliver(a, p.id, payload)
+	}
+}
+
+// halted reports whether a process has stopped for good under the
+// terminating-protocol semantics: it decided and HaltOnDecide is set.
+// Byzantine processes never halt (they are under adversary control).
+func (rt *runtime) halted(p *process) bool {
+	return rt.cfg.HaltOnDecide && p.decided && !p.byz
+}
+
+// deliverable reports whether any correct process is still undecided.
+func (rt *runtime) allCorrectDecided() bool {
+	for _, p := range rt.procs {
+		if p.crashed || p.byz {
+			continue
+		}
+		if !p.decided {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *runtime) run() error {
+	// Start phase. The crash adversary may prevent a process from ever
+	// starting (it executed zero instructions) or crash it mid-broadcast
+	// via CrashDuringSend.
+	for _, p := range rt.procs {
+		if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(p) &&
+			adv.CrashBeforeDeliver(&rt.view, p.id, p.events) {
+			rt.crash(p)
+			continue
+		}
+		p.events++
+		rt.dispatch(p, func(a *api) { p.proto.Start(a) })
+		if rt.err != nil {
+			return rt.err
+		}
+	}
+
+	budgetExhausted := false
+	for !rt.allCorrectDecided() {
+		// Discard in-flight messages addressed to crashed processes; they
+		// can never be processed and would otherwise distort scheduling.
+		rt.compact()
+		if len(rt.inflight) == 0 {
+			// Quiescent with undecided correct processes: nothing can ever
+			// change in an event-driven system. The checker will flag the
+			// termination violation.
+			break
+		}
+		if rt.view.Events >= rt.budget {
+			budgetExhausted = true
+			break
+		}
+		idx := rt.sched.Next(&rt.view, rt.inflight, rt.rng)
+		if idx < 0 || idx >= len(rt.inflight) {
+			return fmt.Errorf("%w: %d of %d", ErrBadSchedule, idx, len(rt.inflight))
+		}
+		env := rt.inflight[idx]
+		last := len(rt.inflight) - 1
+		rt.inflight[idx] = rt.inflight[last]
+		rt.inflight = rt.inflight[:last]
+
+		p := rt.procs[env.To]
+		if p.crashed || rt.halted(p) {
+			continue
+		}
+		if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(p) &&
+			adv.CrashBeforeDeliver(&rt.view, p.id, p.events) {
+			rt.crash(p)
+			continue
+		}
+		rt.view.Events++
+		p.events++
+		rt.trace(TraceEvent{Type: EvDeliver, Proc: env.To, Peer: env.From, Payload: env.Payload})
+		rt.dispatch(p, func(a *api) { p.proto.Deliver(a, env.From, env.Payload) })
+		if rt.err != nil {
+			return rt.err
+		}
+	}
+
+	rt.viewBudget(budgetExhausted)
+	return nil
+}
+
+func (rt *runtime) viewBudget(exhausted bool) {
+	if exhausted {
+		rt.trace(TraceEvent{Type: EvBudget})
+	}
+	rt.budgetExhausted = exhausted
+}
+
+// compact removes in-flight messages whose recipients have crashed. It only
+// scans when a crash occurred since the last scan.
+func (rt *runtime) compact() {
+	if !rt.compactNeeded {
+		return
+	}
+	rt.compactNeeded = false
+	kept := rt.inflight[:0]
+	for _, env := range rt.inflight {
+		if !rt.procs[env.To].crashed {
+			kept = append(kept, env)
+		}
+	}
+	rt.inflight = kept
+}
+
+func (rt *runtime) record() *types.RunRecord {
+	rec := &types.RunRecord{
+		N: rt.n, T: rt.t, K: rt.k,
+		Model:           types.Model{Comm: types.MessagePassing, Failure: rt.failureMode()},
+		Inputs:          append([]types.Value(nil), rt.cfg.Inputs...),
+		Faulty:          append([]bool(nil), rt.view.Faulty...),
+		Decided:         make([]bool, rt.n),
+		Decisions:       make([]types.Value, rt.n),
+		Events:          rt.view.Events,
+		Messages:        rt.view.Messages,
+		Seed:            rt.cfg.Seed,
+		BudgetExhausted: rt.budgetExhausted,
+	}
+	rec.DecidedAtEvent = make([]int, rt.n)
+	for i, p := range rt.procs {
+		rec.Decided[i] = p.decided
+		rec.Decisions[i] = p.decision
+		if p.decided {
+			rec.DecidedAtEvent[i] = p.decidedAt
+		} else {
+			rec.DecidedAtEvent[i] = -1
+		}
+	}
+	return rec
+}
+
+func (rt *runtime) failureMode() types.FailureMode {
+	if len(rt.cfg.Byzantine) > 0 {
+		return types.Byzantine
+	}
+	return types.Crash
+}

@@ -1,0 +1,279 @@
+package mpnet
+
+import (
+	"kset/internal/prng"
+	"kset/internal/types"
+)
+
+// FairRandom delivers a uniformly random in-flight message. Under it every
+// in-flight message is eventually delivered with probability 1, so it is a
+// fair (admissible) schedule of the asynchronous model: runs that fail to
+// terminate under FairRandom within the event budget are genuine
+// termination failures, not scheduler artifacts.
+type FairRandom struct{}
+
+var _ Scheduler = FairRandom{}
+
+// Next implements Scheduler.
+func (FairRandom) Next(_ *View, inflight []Envelope, rng *prng.Source) int {
+	return rng.Intn(len(inflight))
+}
+
+// FIFO delivers the oldest in-flight message (global send order). Useful as
+// a deterministic baseline and for reproducing synchronous-looking runs.
+type FIFO struct{}
+
+var _ Scheduler = FIFO{}
+
+// Next implements Scheduler.
+func (FIFO) Next(_ *View, inflight []Envelope, _ *prng.Source) int {
+	best := 0
+	for i := 1; i < len(inflight); i++ {
+		if inflight[i].Seq < inflight[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// LIFO delivers the newest in-flight message first. An adversarially
+// "bursty" baseline: fresh traffic systematically overtakes old traffic,
+// maximizing reordering while still draining every message eventually
+// (the pool shrinks whenever the protocols go quiet).
+type LIFO struct{}
+
+var _ Scheduler = LIFO{}
+
+// Next implements Scheduler.
+func (LIFO) Next(_ *View, inflight []Envelope, _ *prng.Source) int {
+	best := 0
+	for i := 1; i < len(inflight); i++ {
+		if inflight[i].Seq > inflight[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// ChannelFIFO picks a random ordered channel (sender, recipient) with
+// traffic and delivers its oldest message: per-channel FIFO links with
+// random cross-channel interleaving, the classic "FIFO channels" refinement
+// of the asynchronous model.
+type ChannelFIFO struct{}
+
+var _ Scheduler = ChannelFIFO{}
+
+// Next implements Scheduler.
+func (ChannelFIFO) Next(view *View, inflight []Envelope, rng *prng.Source) int {
+	type channel struct{ from, to types.ProcessID }
+	oldest := make(map[channel]int)
+	for i, env := range inflight {
+		ch := channel{env.From, env.To}
+		if j, ok := oldest[ch]; !ok || env.Seq < inflight[j].Seq {
+			oldest[ch] = i
+		}
+	}
+	// Deterministic choice among channels: order by (from, to).
+	chans := make([]channel, 0, len(oldest))
+	for ch := range oldest {
+		chans = append(chans, ch)
+	}
+	for i := 1; i < len(chans); i++ {
+		for j := i; j > 0; j-- {
+			a, b := chans[j-1], chans[j]
+			if a.from < b.from || (a.from == b.from && a.to <= b.to) {
+				break
+			}
+			chans[j-1], chans[j] = b, a
+		}
+	}
+	return oldest[chans[rng.Intn(len(chans))]]
+}
+
+// GroupGate realizes the partition schedules used throughout the paper's
+// impossibility proofs (Lemmas 3.3, 3.6, 3.9, 3.11, 4.3, 4.9): processes are
+// partitioned into groups, and a message crossing from one group into
+// another is held "in transit" until every non-crashed member of the
+// *recipient's* group has decided. Inside a group, delivery is fair-random.
+//
+// This is exactly the run construction "all messages sent to processes in
+// g_i by processes not in g_i are delayed until all processes in g_i have
+// decided": each group runs in complete isolation until it decides, then the
+// dam breaks.
+//
+// If no intra-group message is deliverable and some gate is still closed,
+// the scheduler falls back to delivering a cross-group message (the
+// asynchronous model only permits finite delay, and a wedged run would hide
+// violations rather than exhibit them). Constructions from the paper are
+// engineered so the fallback never fires before the decisions it needs.
+type GroupGate struct {
+	// Group[i] is the group index of process i.
+	Group []int
+	// FromAlways marks senders whose messages are always eligible,
+	// regardless of gates. The Byzantine constructions (Lemmas 3.9, 3.11)
+	// use it for the faulty set F, which "communicates with every group".
+	FromAlways []bool
+}
+
+var _ Scheduler = (*GroupGate)(nil)
+
+// NewGroupGate builds a GroupGate from explicit group member lists.
+func NewGroupGate(n int, groups [][]types.ProcessID) *GroupGate {
+	g := &GroupGate{Group: make([]int, n)}
+	for i := range g.Group {
+		g.Group[i] = -1
+	}
+	for gi, members := range groups {
+		for _, p := range members {
+			g.Group[p] = gi
+		}
+	}
+	return g
+}
+
+// gateOpen reports whether the recipient group of env accepts cross-group
+// traffic: every non-faulty member has decided. Faulty members (crashed or
+// Byzantine) are ignored — a Byzantine process may never decide, and waiting
+// for it would wedge the gate.
+func (g *GroupGate) gateOpen(view *View, group int) bool {
+	for p := 0; p < view.N; p++ {
+		if g.Group[p] != group {
+			continue
+		}
+		if view.Faulty[p] {
+			continue
+		}
+		if !view.Decided[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Scheduler.
+func (g *GroupGate) Next(view *View, inflight []Envelope, rng *prng.Source) int {
+	eligible := make([]int, 0, len(inflight))
+	for i, env := range inflight {
+		if len(g.FromAlways) > 0 && g.FromAlways[env.From] {
+			eligible = append(eligible, i)
+			continue
+		}
+		sg, rg := g.Group[env.From], g.Group[env.To]
+		if sg == rg || g.gateOpen(view, rg) {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		// Fallback: release an arbitrary cross-group message to preserve
+		// the finite-delay guarantee of the model.
+		return rng.Intn(len(inflight))
+	}
+	return eligible[rng.Intn(len(eligible))]
+}
+
+// Isolate returns a GroupGate in which each listed set of processes is its
+// own group and every unlisted process forms the final group together.
+func Isolate(n int, sets ...[]types.ProcessID) *GroupGate {
+	assigned := make([]bool, n)
+	groups := make([][]types.ProcessID, 0, len(sets)+1)
+	for _, s := range sets {
+		groups = append(groups, s)
+		for _, p := range s {
+			assigned[p] = true
+		}
+	}
+	var rest []types.ProcessID
+	for i := 0; i < n; i++ {
+		if !assigned[i] {
+			rest = append(rest, types.ProcessID(i))
+		}
+	}
+	if len(rest) > 0 {
+		groups = append(groups, rest)
+	}
+	return NewGroupGate(n, groups)
+}
+
+// PreferIntra delivers intra-group messages while any exist, then
+// cross-group ones: every process hears its whole neighbourhood before the
+// outside world. Unlike GroupGate it never blocks on decisions, so it is
+// usable where groups cannot decide alone — the run shape of Lemma 3.6's
+// proof, where each process fills its quota with group messages first.
+type PreferIntra struct {
+	// Group[i] is the group index of process i.
+	Group []int
+}
+
+var _ Scheduler = (*PreferIntra)(nil)
+
+// NewPreferIntra builds a PreferIntra scheduler from group member lists.
+func NewPreferIntra(n int, groups [][]types.ProcessID) *PreferIntra {
+	p := &PreferIntra{Group: make([]int, n)}
+	for i := range p.Group {
+		p.Group[i] = -1
+	}
+	for gi, members := range groups {
+		for _, id := range members {
+			p.Group[id] = gi
+		}
+	}
+	return p
+}
+
+// Next implements Scheduler.
+func (p *PreferIntra) Next(_ *View, inflight []Envelope, rng *prng.Source) int {
+	intra := make([]int, 0, len(inflight))
+	for i, env := range inflight {
+		if p.Group[env.From] == p.Group[env.To] {
+			intra = append(intra, i)
+		}
+	}
+	if len(intra) > 0 {
+		return intra[rng.Intn(len(intra))]
+	}
+	return rng.Intn(len(inflight))
+}
+
+// DelayProcess holds every message *from* the given processes until all
+// other correct processes have decided, then releases them. It realizes the
+// "p's messages after time T are delayed until after all processes in g
+// decide" constructions of Lemmas 3.4 and 3.5.
+type DelayProcess struct {
+	// Delayed[p] marks senders whose outbound messages are held.
+	Delayed []bool
+}
+
+var _ Scheduler = (*DelayProcess)(nil)
+
+// NewDelayProcess builds a DelayProcess holding traffic from the given ids.
+func NewDelayProcess(n int, ids ...types.ProcessID) *DelayProcess {
+	d := &DelayProcess{Delayed: make([]bool, n)}
+	for _, id := range ids {
+		d.Delayed[id] = true
+	}
+	return d
+}
+
+// Next implements Scheduler.
+func (d *DelayProcess) Next(view *View, inflight []Envelope, rng *prng.Source) int {
+	allOthersDecided := true
+	for p := 0; p < view.N; p++ {
+		if d.Delayed[p] || view.Crashed[p] || view.Faulty[p] {
+			continue
+		}
+		if !view.Decided[p] {
+			allOthersDecided = false
+			break
+		}
+	}
+	eligible := make([]int, 0, len(inflight))
+	for i, env := range inflight {
+		if allOthersDecided || !d.Delayed[env.From] {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return rng.Intn(len(inflight))
+	}
+	return eligible[rng.Intn(len(eligible))]
+}

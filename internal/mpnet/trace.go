@@ -1,0 +1,65 @@
+package mpnet
+
+import (
+	"fmt"
+
+	"kset/internal/types"
+)
+
+// TraceEventType enumerates observable run events.
+type TraceEventType uint8
+
+// Trace event types.
+const (
+	EvSend TraceEventType = iota + 1
+	EvDeliver
+	EvDecide
+	EvCrash
+	EvBudget
+)
+
+// String names the event type.
+func (t TraceEventType) String() string {
+	switch t {
+	case EvSend:
+		return "send"
+	case EvDeliver:
+		return "deliver"
+	case EvDecide:
+		return "decide"
+	case EvCrash:
+		return "crash"
+	case EvBudget:
+		return "budget-exhausted"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// TraceEvent is one observable step of a run, reported to Config.Trace.
+type TraceEvent struct {
+	Type       TraceEventType
+	Proc       types.ProcessID // acting process
+	Peer       types.ProcessID // recipient (send) or sender (deliver)
+	Payload    types.Payload
+	Value      types.Value // decision value for EvDecide
+	EventIndex int         // global delivery count at the time of the event
+}
+
+// String renders one trace line.
+func (e TraceEvent) String() string {
+	switch e.Type {
+	case EvSend:
+		return fmt.Sprintf("[%4d] %s -> %s : %s", e.EventIndex, e.Proc, e.Peer, e.Payload)
+	case EvDeliver:
+		return fmt.Sprintf("[%4d] %s <- %s : %s", e.EventIndex, e.Proc, e.Peer, e.Payload)
+	case EvDecide:
+		return fmt.Sprintf("[%4d] %s DECIDES %d", e.EventIndex, e.Proc, e.Value)
+	case EvCrash:
+		return fmt.Sprintf("[%4d] %s CRASHES", e.EventIndex, e.Proc)
+	case EvBudget:
+		return fmt.Sprintf("[%4d] EVENT BUDGET EXHAUSTED", e.EventIndex)
+	default:
+		return fmt.Sprintf("[%4d] %s %s", e.EventIndex, e.Type, e.Proc)
+	}
+}

@@ -1,0 +1,94 @@
+package mp
+
+import (
+	"kset/internal/mpnet"
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// echoKey identifies one candidate (origin, value) pair in the l-echo
+// broadcast: "value claimed to have been broadcast by origin".
+type echoKey struct {
+	origin types.ProcessID
+	value  types.Value
+}
+
+// EchoBroadcast implements the paper's l-echo broadcast, the generalization
+// of Bracha and Toueg's echo broadcast defined before Lemma 3.14:
+//
+//	To l-echo broadcast m, the sender sends <init, s, m> to all. On the
+//	first <init, s, m> from s, a process sends <echo, s, m> to all;
+//	subsequent inits from s are ignored. A process accepts m as sent by s
+//	once it receives <echo, s, m> from more than (n + l*t)/(l + 1)
+//	processes.
+//
+// Lemma 3.14 guarantees, for t < l*n/(2l+1): correct processes accept at
+// most l different messages per sender, and if the sender is correct every
+// correct process accepts its message.
+//
+// EchoBroadcast is a component: protocols feed it every incoming message via
+// Handle and receive acceptances through the OnAccept callback. It keeps
+// echoing after the host protocol decides, providing the "help" the paper's
+// Byzantine protocols require.
+type EchoBroadcast struct {
+	// L is the echo parameter l >= 1 (1 reproduces Bracha-Toueg).
+	L int
+	// OnAccept is invoked each time a (origin, value) pair crosses the
+	// acceptance threshold, at most once per pair.
+	OnAccept func(origin types.ProcessID, v types.Value)
+
+	echoed   map[types.ProcessID]bool
+	echoers  map[echoKey]map[types.ProcessID]struct{}
+	accepted map[echoKey]bool
+}
+
+// NewEchoBroadcast constructs the component for one process.
+func NewEchoBroadcast(l int, onAccept func(types.ProcessID, types.Value)) *EchoBroadcast {
+	return &EchoBroadcast{
+		L:        l,
+		OnAccept: onAccept,
+		echoed:   make(map[types.ProcessID]bool),
+		echoers:  make(map[echoKey]map[types.ProcessID]struct{}),
+		accepted: make(map[echoKey]bool),
+	}
+}
+
+// Broadcast l-echo-broadcasts value v from this process.
+func (e *EchoBroadcast) Broadcast(api mpnet.API, v types.Value) {
+	api.Broadcast(types.Payload{Kind: types.KindInit, Value: v, Origin: api.ID()})
+}
+
+// Handle processes one incoming message; it ignores kinds it does not own,
+// so hosts may feed it their entire message stream.
+func (e *EchoBroadcast) Handle(api mpnet.API, from types.ProcessID, p types.Payload) {
+	switch p.Kind {
+	case types.KindInit:
+		// The network authenticates senders, so the init's origin is its
+		// sender; a Byzantine process cannot initiate on another's behalf.
+		if e.echoed[from] {
+			return
+		}
+		e.echoed[from] = true
+		api.Broadcast(types.Payload{Kind: types.KindEcho, Value: p.Value, Origin: from})
+	case types.KindEcho:
+		key := echoKey{origin: p.Origin, value: p.Value}
+		set, ok := e.echoers[key]
+		if !ok {
+			set = make(map[types.ProcessID]struct{})
+			e.echoers[key] = set
+		}
+		if _, dup := set[from]; dup {
+			return
+		}
+		set[from] = struct{}{}
+		if e.accepted[key] {
+			return
+		}
+		if len(set) >= theory.EchoAcceptThreshold(api.N(), api.T(), e.L) {
+			e.accepted[key] = true
+			if e.OnAccept != nil {
+				e.OnAccept(p.Origin, p.Value)
+			}
+		}
+	}
+}

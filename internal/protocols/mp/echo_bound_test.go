@@ -1,0 +1,99 @@
+package mp
+
+import (
+	"testing"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// TestEchoAcceptsAtMostEllPerSender exercises part 1 of Lemma 3.14 at the
+// component level: whenever t < l*n/(2l+1), no adversarial distribution of
+// echoes can push more than l distinct values of one sender over the
+// acceptance threshold at a single receiver.
+//
+// The strongest adversary gives each of the t faulty processes an echo for
+// every candidate value (a Byzantine process can echo different values to
+// different recipients, and even several values to the same recipient), and
+// allocates the n-t correct echoers — who each echo exactly one value for
+// the sender, the first init they saw — greedily: threshold-minus-t correct
+// echoes per candidate value until they run out. Greedy allocation maximizes
+// the number of values reaching the threshold, so feeding it to a real
+// EchoBroadcast instance checks the exact bound.
+func TestEchoAcceptsAtMostEllPerSender(t *testing.T) {
+	for n := 4; n <= 24; n++ {
+		for l := 1; l <= 3; l++ {
+			for tt := 0; tt <= n; tt++ {
+				if !theory.EchoEllValid(n, tt, l) {
+					continue
+				}
+				if got := maxAcceptedValues(n, tt, l); got > l {
+					t.Fatalf("n=%d t=%d l=%d: adversary forced %d accepted values, bound is %d",
+						n, tt, l, got, l)
+				}
+			}
+		}
+	}
+}
+
+// maxAcceptedValues runs the greedy-fill adversary and returns how many
+// values get accepted for a single origin.
+func maxAcceptedValues(n, t, l int) int {
+	accepted := 0
+	e := NewEchoBroadcast(l, func(types.ProcessID, types.Value) { accepted++ })
+	api := newFakeAPI(0, n, t, 2, 1)
+	origin := types.ProcessID(1)
+	candidates := l + 1
+	threshold := theory.EchoAcceptThreshold(n, t, l)
+
+	// Faulty processes (ids n-t..n-1) echo every candidate value.
+	for f := 0; f < t; f++ {
+		for c := 0; c < candidates; c++ {
+			e.Handle(api, types.ProcessID(n-1-f), types.Payload{
+				Kind: types.KindEcho, Value: types.Value(100 + c), Origin: origin,
+			})
+		}
+	}
+	// Correct processes (ids 0..n-t-1) are allocated greedily: each
+	// candidate value needs threshold-t correct echoes on top of the
+	// faulty ones.
+	need := threshold - t
+	if need < 1 {
+		need = 1
+	}
+	correct := 0
+	for c := 0; c < candidates && correct < n-t; c++ {
+		for j := 0; j < need && correct < n-t; j++ {
+			e.Handle(api, types.ProcessID(correct), types.Payload{
+				Kind: types.KindEcho, Value: types.Value(100 + c), Origin: origin,
+			})
+			correct++
+		}
+	}
+	return accepted
+}
+
+// TestEchoAdversaryCanReachEll shows the bound is tight where the arithmetic
+// allows: there are (n, t, l) points at which the adversary really does get
+// l distinct values accepted, so the l in Lemma 3.14 cannot be improved.
+func TestEchoAdversaryCanReachEll(t *testing.T) {
+	// n=9, t=2, l=1: threshold = (9+2)/2+1 = 6. Faulty echo both values;
+	// correct split 4/3: 4+2 = 6 reaches it for one value. For l=2:
+	// threshold = (9+4)/3+1 = 5; splits of 7 correct across 3 values give
+	// 3+2 = 5 for two values: two acceptances.
+	cases := []struct {
+		n, tt, l int
+		want     int
+	}{
+		{9, 2, 1, 1},
+		{9, 2, 2, 2},
+	}
+	for _, c := range cases {
+		if !theory.EchoEllValid(c.n, c.tt, c.l) {
+			t.Fatalf("case (%d,%d,%d) not in the valid region", c.n, c.tt, c.l)
+		}
+		if got := maxAcceptedValues(c.n, c.tt, c.l); got != c.want {
+			t.Errorf("n=%d t=%d l=%d: %d accepted, want %d", c.n, c.tt, c.l, got, c.want)
+		}
+	}
+}

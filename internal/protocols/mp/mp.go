@@ -1,0 +1,87 @@
+// Package mp implements the paper's message-passing protocols as
+// event-driven mpnet.Protocol state machines:
+//
+//   - FloodMin — Chaudhuri's protocol for SC(k, t, RV1), t < k (Lemma 3.1).
+//   - Protocol A — SC(k, t, RV2) in MP/CR for t < (k-1)n/k (Lemma 3.7), and
+//     SC(k, t, WV2) in MP/Byz per Lemmas 3.12/3.13.
+//   - Protocol B — SC(k, t, SV2) in MP/CR for t < (k-1)n/(2k) (Lemma 3.8).
+//   - the l-echo broadcast — a generalization of Bracha and Toueg's echo
+//     broadcast (Lemma 3.14), used as a component.
+//   - Protocol C(l) — SC(k, t, SV2) in MP/Byz for t < (k-1)n/(2k+l-1) and
+//     t < ln/(2l+1) (Lemma 3.15).
+//   - Protocol D — SC(k, t, WV1) in MP/Byz for k >= Z(n, t) (Lemma 3.16).
+//   - Trivial — every process decides its own input (the k = n case).
+//
+// Every protocol keeps participating (relaying, echoing) after deciding, as
+// the paper requires for its Byzantine protocols ("termination is satisfied
+// only in the sense that correct processes decide, but not ... stop").
+package mp
+
+import (
+	"kset/internal/types"
+)
+
+// firstPerSender records the first message received from each sender,
+// implementing the "waits for n-t messages" idiom of Protocols A, B and
+// FloodMin: each correct process broadcasts exactly once, so only the first
+// message per sender counts (a Byzantine process gains nothing by sending
+// twice).
+type firstPerSender struct {
+	seen map[types.ProcessID]types.Value
+}
+
+func newFirstPerSender(n int) *firstPerSender {
+	return &firstPerSender{seen: make(map[types.ProcessID]types.Value, n)}
+}
+
+// add records the first value from sender, reporting whether it was new.
+func (f *firstPerSender) add(sender types.ProcessID, v types.Value) bool {
+	if _, ok := f.seen[sender]; ok {
+		return false
+	}
+	f.seen[sender] = v
+	return true
+}
+
+func (f *firstPerSender) count() int { return len(f.seen) }
+
+// countValue returns how many recorded messages carry value v.
+func (f *firstPerSender) countValue(v types.Value) int {
+	c := 0
+	for _, got := range f.seen {
+		if got == v {
+			c++
+		}
+	}
+	return c
+}
+
+// allEqual reports whether every recorded message carries the same value,
+// and returns it. It returns (0, false) when no message is recorded.
+func (f *firstPerSender) allEqual() (types.Value, bool) {
+	var v types.Value
+	first := true
+	for _, got := range f.seen {
+		if first {
+			v, first = got, false
+			continue
+		}
+		if got != v {
+			return 0, false
+		}
+	}
+	return v, !first
+}
+
+// min returns the minimum recorded value. It returns (0, false) when no
+// message is recorded.
+func (f *firstPerSender) min() (types.Value, bool) {
+	var m types.Value
+	first := true
+	for _, got := range f.seen {
+		if first || got < m {
+			m, first = got, false
+		}
+	}
+	return m, !first
+}

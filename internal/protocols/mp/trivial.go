@@ -1,0 +1,23 @@
+package mp
+
+import (
+	"kset/internal/mpnet"
+	"kset/internal/types"
+)
+
+// Trivial decides the process's own input immediately. It solves SC(n, t, C)
+// for every t and every validity condition C in the paper (Section 2: "if
+// k = n then SC(k) is trivially solvable, even in the Byzantine setting,
+// with the strongest validity condition SV1").
+type Trivial struct{}
+
+var _ mpnet.Protocol = Trivial{}
+
+// NewTrivial constructs a Trivial instance.
+func NewTrivial() Trivial { return Trivial{} }
+
+// Start implements mpnet.Protocol.
+func (Trivial) Start(api mpnet.API) { api.Decide(api.Input()) }
+
+// Deliver implements mpnet.Protocol.
+func (Trivial) Deliver(mpnet.API, types.ProcessID, types.Payload) {}

@@ -1,0 +1,164 @@
+package sm
+
+import (
+	"strconv"
+
+	"kset/internal/mpnet"
+	"kset/internal/prng"
+	"kset/internal/smmem"
+	"kset/internal/types"
+)
+
+// Simulation is the paper's SIMULATION transformation (Section 4): it runs
+// any message-passing protocol over single-writer registers.
+//
+//	"Whenever protocol X prescribes that p send its i-th message m to
+//	process q, p writes m to a single-writer single-reader register
+//	designated for p's i-th message to q; q repeatedly reads the register
+//	until it reads a value there. Similarly [for broadcasts with a
+//	single-writer multi-reader register per broadcast]."
+//
+// Register layout (owner p):
+//
+//	bc/<i>      p's i-th broadcast
+//	msg/<q>/<i> p's i-th point-to-point message to q
+//
+// Registers are written at most once by construction, so polling readers
+// see each message exactly once by advancing a cursor per channel. The
+// wrapper keeps polling (and therefore keeps the inner protocol echoing and
+// helping) until the runtime halts the run; this matches the paper's remark
+// that its Byzantine protocols terminate in the sense that correct processes
+// decide, not that they stop.
+//
+// Because even a Byzantine process can only write its own registers, the
+// transformation preserves sender authenticity exactly as the
+// message-passing network does.
+type Simulation struct {
+	// Inner is the message-passing protocol instance to run.
+	Inner mpnet.Protocol
+}
+
+var _ smmem.Protocol = (*Simulation)(nil)
+
+// NewSimulation wraps one process's message-passing protocol instance.
+func NewSimulation(inner mpnet.Protocol) *Simulation { return &Simulation{Inner: inner} }
+
+// outMsg is one queued outbound message of the inner protocol.
+type outMsg struct {
+	broadcast bool
+	to        types.ProcessID
+	payload   types.Payload
+}
+
+// simAPI adapts the shared-memory API to mpnet.API for the inner protocol.
+// Sends are queued and flushed to registers by the wrapper loop; self-sends
+// short-circuit through a local queue, matching the immediate self-delivery
+// of the message-passing runtime.
+type simAPI struct {
+	sm        smmem.API
+	outbox    []outMsg
+	selfQueue []types.Payload
+}
+
+var _ mpnet.API = (*simAPI)(nil)
+
+func (a *simAPI) ID() types.ProcessID { return a.sm.ID() }
+func (a *simAPI) N() int              { return a.sm.N() }
+func (a *simAPI) T() int              { return a.sm.T() }
+func (a *simAPI) K() int              { return a.sm.K() }
+func (a *simAPI) Input() types.Value  { return a.sm.Input() }
+func (a *simAPI) HasDecided() bool    { return a.sm.HasDecided() }
+func (a *simAPI) Rand() *prng.Source  { return a.sm.Rand() }
+func (a *simAPI) Decide(v types.Value) {
+	a.sm.Decide(v)
+}
+
+func (a *simAPI) Send(to types.ProcessID, p types.Payload) {
+	if to == a.sm.ID() {
+		a.selfQueue = append(a.selfQueue, p)
+		return
+	}
+	a.outbox = append(a.outbox, outMsg{to: to, payload: p})
+}
+
+func (a *simAPI) Broadcast(p types.Payload) {
+	a.selfQueue = append(a.selfQueue, p)
+	a.outbox = append(a.outbox, outMsg{broadcast: true, payload: p})
+}
+
+// Run implements smmem.Protocol.
+func (s *Simulation) Run(api smmem.API) {
+	n := api.N()
+	me := api.ID()
+	a := &simAPI{sm: api}
+
+	bcSeq := 0                 // own broadcasts written
+	msgSeq := make([]int, n)   // own p2p messages written, per destination
+	bcCursor := make([]int, n) // next broadcast to read, per peer
+	p2pCursor := make([]int, n)
+
+	drainSelf := func() {
+		for len(a.selfQueue) > 0 {
+			p := a.selfQueue[0]
+			a.selfQueue = a.selfQueue[1:]
+			s.Inner.Deliver(a, me, p)
+		}
+	}
+
+	flush := func() {
+		for len(a.outbox) > 0 {
+			m := a.outbox[0]
+			a.outbox = a.outbox[1:]
+			if m.broadcast {
+				api.Write("bc/"+strconv.Itoa(bcSeq), m.payload)
+				bcSeq++
+			} else {
+				api.Write("msg/"+strconv.Itoa(int(m.to))+"/"+strconv.Itoa(msgSeq[m.to]), m.payload)
+				msgSeq[m.to]++
+			}
+		}
+	}
+
+	s.Inner.Start(a)
+	drainSelf()
+	flush()
+	if n == 1 {
+		return // no peers to poll; everything already happened locally
+	}
+
+	meStr := strconv.Itoa(int(me))
+	for {
+		for q := 0; q < n; q++ {
+			if types.ProcessID(q) == me {
+				continue
+			}
+			peer := types.ProcessID(q)
+			// Drain newly visible broadcasts of q.
+			for {
+				p, ok := api.Read(peer, "bc/"+strconv.Itoa(bcCursor[q]))
+				if !ok {
+					break
+				}
+				bcCursor[q]++
+				s.Inner.Deliver(a, peer, p)
+				drainSelf()
+				flush()
+			}
+			// Drain newly visible point-to-point messages from q to me.
+			for {
+				p, ok := api.Read(peer, "msg/"+meStr+"/"+strconv.Itoa(p2pCursor[q]))
+				if !ok {
+					break
+				}
+				p2pCursor[q]++
+				s.Inner.Deliver(a, peer, p)
+				drainSelf()
+				flush()
+			}
+		}
+		// Loop forever: the runtime unwinds this goroutine once every
+		// correct process has decided (or the operation budget runs out).
+		// Each iteration performs at least 2(n-1) reads, so the scheduler
+		// always stays in control.
+	}
+}

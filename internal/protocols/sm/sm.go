@@ -1,0 +1,38 @@
+// Package sm implements the paper's shared-memory protocols:
+//
+//   - Protocol E — SC(k, t, RV2) in SM/CR for every k >= 2 and any t
+//     (Lemma 4.5), and SC(k, t, WV2) in SM/Byz (Lemma 4.10). A single
+//     write-then-scan: decide the common value of the scan or a default.
+//   - Protocol F — SC(k, t, SV2) in SM/CR and SM/Byz for k > t+1
+//     (Lemmas 4.7 and 4.12). Write, then rescan until one scan returns at
+//     least n-t written registers, and decide by the i-votes rule.
+//   - Simulation — the paper's SIMULATION transformation (Section 4): any
+//     message-passing protocol runs over shared memory by writing each
+//     message to a fresh single-writer register and having recipients poll.
+//
+// The register layout of each protocol is documented on its type.
+package sm
+
+import "kset/internal/types"
+
+// InputRegister is the register name used by Protocols E and F for the
+// single value each process publishes.
+const InputRegister = "input"
+
+// scanValues reads the "input" register of every process once, in id order,
+// returning the values found (unwritten registers are skipped) and how many
+// registers were successfully read.
+func scanValues(api interface {
+	N() int
+	ReadValue(types.ProcessID, string) (types.Value, bool)
+}) (values []types.Value, present int) {
+	n := api.N()
+	values = make([]types.Value, 0, n)
+	for q := 0; q < n; q++ {
+		if v, ok := api.ReadValue(types.ProcessID(q), InputRegister); ok {
+			values = append(values, v)
+			present++
+		}
+	}
+	return values, present
+}

@@ -1,0 +1,225 @@
+package sm
+
+import (
+	"testing"
+
+	"kset/internal/mpnet"
+	"kset/internal/prng"
+	"kset/internal/protocols/mp"
+	"kset/internal/smmem"
+	"kset/internal/types"
+)
+
+// fakeMem is an in-memory smmem.API for unit-testing shared-memory protocol
+// logic without the turn scheduler: all operations are immediate.
+type fakeMem struct {
+	id      types.ProcessID
+	n, t, k int
+	input   types.Value
+	rng     *prng.Source
+
+	regs     map[string]types.Payload // "owner/name" -> payload
+	decided  bool
+	decision types.Value
+	reads    int
+}
+
+var _ smmem.API = (*fakeMem)(nil)
+
+func newFakeMem(id types.ProcessID, n, t, k int, input types.Value) *fakeMem {
+	return &fakeMem{
+		id: id, n: n, t: t, k: k, input: input,
+		rng:  prng.New(1),
+		regs: make(map[string]types.Payload),
+	}
+}
+
+func key(owner types.ProcessID, reg string) string {
+	return owner.String() + "/" + reg
+}
+
+func (f *fakeMem) ID() types.ProcessID { return f.id }
+func (f *fakeMem) N() int              { return f.n }
+func (f *fakeMem) T() int              { return f.t }
+func (f *fakeMem) K() int              { return f.k }
+func (f *fakeMem) Input() types.Value  { return f.input }
+func (f *fakeMem) HasDecided() bool    { return f.decided }
+func (f *fakeMem) Rand() *prng.Source  { return f.rng }
+
+func (f *fakeMem) Write(reg string, p types.Payload) { f.regs[key(f.id, reg)] = p }
+
+func (f *fakeMem) Read(owner types.ProcessID, reg string) (types.Payload, bool) {
+	f.reads++
+	p, ok := f.regs[key(owner, reg)]
+	return p, ok
+}
+
+func (f *fakeMem) WriteValue(reg string, v types.Value) {
+	f.Write(reg, types.Payload{Kind: types.KindInput, Value: v})
+}
+
+func (f *fakeMem) ReadValue(owner types.ProcessID, reg string) (types.Value, bool) {
+	p, ok := f.Read(owner, reg)
+	return p.Value, ok
+}
+
+func (f *fakeMem) Decide(v types.Value) {
+	if !f.decided {
+		f.decided, f.decision = true, v
+	}
+}
+
+// seed pre-writes another process's input register.
+func (f *fakeMem) seed(owner types.ProcessID, v types.Value) {
+	f.regs[key(owner, InputRegister)] = types.Payload{Kind: types.KindInput, Value: v}
+}
+
+func TestProtocolEDecidesCommonValue(t *testing.T) {
+	m := newFakeMem(0, 4, 1, 2, 6)
+	m.seed(1, 6)
+	m.seed(2, 6)
+	// p4's register unwritten: skipped by the scan.
+	NewProtocolE().Run(m)
+	if !m.decided || m.decision != 6 {
+		t.Fatalf("decision = %v, want 6", m.decision)
+	}
+}
+
+func TestProtocolEDecidesDefaultOnMixedScan(t *testing.T) {
+	m := newFakeMem(0, 4, 1, 2, 6)
+	m.seed(1, 7)
+	NewProtocolE().Run(m)
+	if !m.decided || m.decision != types.DefaultValue {
+		t.Fatalf("decision = %v, want default", m.decision)
+	}
+}
+
+func TestProtocolEScansExactlyOnce(t *testing.T) {
+	m := newFakeMem(0, 5, 2, 2, 3)
+	NewProtocolE().Run(m)
+	if m.reads != 5 {
+		t.Fatalf("reads = %d, want one scan of n=5 registers", m.reads)
+	}
+}
+
+func TestProtocolFVotesRule(t *testing.T) {
+	// n=6, t=2: scan succeeds at r >= 4. r = 5 = t+i with i = 3: decide own
+	// input iff >= 3 of the 5 values equal it.
+	m := newFakeMem(0, 6, 2, 4, 5)
+	m.seed(1, 5)
+	m.seed(2, 5)
+	m.seed(3, 9)
+	m.seed(4, 9)
+	NewProtocolF().Run(m)
+	if !m.decided || m.decision != 5 {
+		t.Fatalf("decision = %v, want own input 5 (3 votes >= i=3)", m.decision)
+	}
+
+	m2 := newFakeMem(0, 6, 2, 4, 5)
+	m2.seed(1, 9)
+	m2.seed(2, 9)
+	m2.seed(3, 9)
+	m2.seed(4, 8)
+	NewProtocolF().Run(m2)
+	if !m2.decided || m2.decision != types.DefaultValue {
+		t.Fatalf("decision = %v, want default (1 vote < i=3)", m2.decision)
+	}
+}
+
+func TestProtocolFDecidesOwnWhenFewRegisters(t *testing.T) {
+	// n=4, t=3: n-t = 1, own write alone satisfies the scan; r = 1 <= t,
+	// so the process decides its own input outright.
+	m := newFakeMem(0, 4, 3, 2, 42)
+	NewProtocolF().Run(m)
+	if !m.decided || m.decision != 42 {
+		t.Fatalf("decision = %v, want 42 (r <= t branch)", m.decision)
+	}
+}
+
+// TestSimulationCarriesFloodMin runs FloodMin through the SIMULATION
+// transformation on the real shared-memory runtime and checks it reaches the
+// same answer as in message passing: the minimum input.
+func TestSimulationCarriesFloodMin(t *testing.T) {
+	const n = 5
+	inputs := []types.Value{5, 3, 9, 1, 7}
+	rec, err := smmem.Run(smmem.Config{
+		N: n, T: 1, K: 2,
+		Inputs: inputs,
+		NewProtocol: func(types.ProcessID) smmem.Protocol {
+			return NewSimulation(mp.NewFloodMin())
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if !rec.Decided[i] {
+			t.Fatalf("process %d undecided", i)
+		}
+	}
+	// With no failures, every process eventually collects n-t values whose
+	// minimum is at most the t+1 smallest inputs; all decisions must be
+	// genuine inputs.
+	valid := map[types.Value]bool{5: true, 3: true, 9: true, 1: true, 7: true}
+	for i := 0; i < n; i++ {
+		if !valid[rec.Decisions[i]] {
+			t.Errorf("process %d decided %d, not an input", i, rec.Decisions[i])
+		}
+	}
+}
+
+// TestSimulationPointToPoint exercises the msg/<q>/<i> register path with a
+// protocol that sends individually rather than broadcasting.
+func TestSimulationPointToPoint(t *testing.T) {
+	const n = 3
+	rec, err := smmem.Run(smmem.Config{
+		N: n, T: 0, K: 1,
+		Inputs: []types.Value{10, 20, 30},
+		NewProtocol: func(types.ProcessID) smmem.Protocol {
+			return NewSimulation(&p2pSummer{})
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Every process decides the sum of all inputs (60), delivered by
+	// point-to-point sends only.
+	for i := 0; i < n; i++ {
+		if !rec.Decided[i] || rec.Decisions[i] != 60 {
+			t.Errorf("process %d decided %v, want 60", i, rec.Decisions[i])
+		}
+	}
+}
+
+// p2pSummer sends its input individually to each peer and decides the sum of
+// everything received (its own input included).
+type p2pSummer struct {
+	sum   types.Value
+	count int
+}
+
+func (p *p2pSummer) Start(api mpnet.API) {
+	p.sum = api.Input()
+	p.count = 1
+	for q := 0; q < api.N(); q++ {
+		if types.ProcessID(q) == api.ID() {
+			continue
+		}
+		api.Send(types.ProcessID(q), types.Payload{Kind: types.KindInput, Value: api.Input()})
+	}
+	p.maybeDecide(api)
+}
+
+func (p *p2pSummer) Deliver(api mpnet.API, _ types.ProcessID, pay types.Payload) {
+	p.sum += pay.Value
+	p.count++
+	p.maybeDecide(api)
+}
+
+func (p *p2pSummer) maybeDecide(api mpnet.API) {
+	if !api.HasDecided() && p.count == api.N() {
+		api.Decide(p.sum)
+	}
+}

@@ -1,0 +1,444 @@
+// Package report runs the reproduction's full evaluation — region grids,
+// empirical validation sweeps, impossibility constructions, the halting
+// experiment, and agreement-tightness statistics — and renders the results
+// as a markdown report in the structure of EXPERIMENTS.md. It is the
+// one-shot reproducibility entry point behind cmd/ksetreport.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"kset/internal/adversary"
+	"kset/internal/checker"
+	"kset/internal/exhaustive"
+	"kset/internal/harness"
+	"kset/internal/mpnet"
+	"kset/internal/prng"
+	"kset/internal/protocols/mp"
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// Config sizes the evaluation.
+type Config struct {
+	// N is the system size for empirical sweeps (grids are additionally
+	// computed at the paper's 64).
+	N int
+	// Runs is the sweep size per sampled cell.
+	Runs int
+	// Samples is the number of solvable cells sampled per panel.
+	Samples int
+	// Seed drives the sampling and sweeps.
+	Seed uint64
+	// GridN is the size for the region-count tables (default 64).
+	GridN int
+}
+
+func (c *Config) defaults() {
+	if c.N == 0 {
+		c.N = 10
+	}
+	if c.Runs == 0 {
+		c.Runs = 16
+	}
+	if c.Samples == 0 {
+		c.Samples = 3
+	}
+	if c.GridN == 0 {
+		c.GridN = 64
+	}
+}
+
+// Run executes the evaluation and writes the markdown report.
+func Run(w io.Writer, cfg Config) error {
+	cfg.defaults()
+	start := time.Now()
+	fmt.Fprintf(w, "# k-set consensus reproduction report\n\n")
+	fmt.Fprintf(w, "Parameters: sweeps at n=%d (%d runs x %d cells per panel), region tables at n=%d, seed %d.\n\n",
+		cfg.N, cfg.Runs, cfg.Samples, cfg.GridN, cfg.Seed)
+
+	writeLattice(w)
+	writeGridTables(w, cfg.GridN)
+	if err := writeValidation(w, cfg); err != nil {
+		return err
+	}
+	if err := writeConstructions(w, cfg.N); err != nil {
+		return err
+	}
+	writeHalting(w, cfg)
+	writeTightness(w, cfg)
+	writeExhaustive(w)
+	writeGapProbes(w)
+	writeLatency(w, cfg)
+
+	fmt.Fprintf(w, "\nGenerated in %v.\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func writeLattice(w io.Writer) {
+	fmt.Fprintf(w, "## Figure 1: validity lattice\n\n")
+	edges := theory.WeakerEdges()
+	for _, d := range types.AllValidities() {
+		for _, c := range edges[d] {
+			fmt.Fprintf(w, "- %s implies %s\n", d, c)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func writeGridTables(w io.Writer, n int) {
+	fmt.Fprintf(w, "## Figures 2/4/5/6: region cell counts at n=%d\n\n", n)
+	for _, f := range theory.Figures() {
+		fmt.Fprintf(w, "### Figure %d (%s)\n\n", f.Number, f.Model)
+		fmt.Fprintf(w, "| panel | solvable | impossible | open |\n|---|---|---|---|\n")
+		for _, v := range types.AllValidities() {
+			g := theory.ComputeGrid(f.Model, v, n)
+			s, i, o := g.Count()
+			fmt.Fprintf(w, "| %s | %d | %d | %d |\n", v, s, i, o)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func writeValidation(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "## Empirical validation of solvable cells (n=%d)\n\n", cfg.N)
+	fmt.Fprintf(w, "| panel | cell | witness | runs | outcome |\n|---|---|---|---|---|\n")
+	failures := 0
+	for _, f := range theory.Figures() {
+		for _, v := range types.AllValidities() {
+			g := theory.ComputeGrid(f.Model, v, cfg.N)
+			type point struct{ k, t int }
+			var cells []point
+			for k := g.KMin(); k <= g.KMax(); k++ {
+				for t := g.TMin(); t <= g.TMax(); t++ {
+					if g.At(k, t).Status == theory.Solvable {
+						cells = append(cells, point{k, t})
+					}
+				}
+			}
+			if len(cells) == 0 {
+				continue
+			}
+			rng := prng.New(cfg.Seed + uint64(f.Number)*100 + uint64(v))
+			samples := cfg.Samples
+			if samples > len(cells) {
+				samples = len(cells)
+			}
+			for _, idx := range rng.Perm(len(cells))[:samples] {
+				c := cells[idx]
+				sum, err := harness.ValidateCell(f.Model, v, cfg.N, c.k, c.t, cfg.Runs, rng.Uint64())
+				if err != nil {
+					return err
+				}
+				outcome := "all conditions held"
+				if !sum.OK() {
+					outcome = fmt.Sprintf("FAILED: %v", sum.Violations[0].Err)
+					failures++
+				}
+				fmt.Fprintf(w, "| %s/%s | k=%d t=%d | %s | %d | %s |\n",
+					f.Model, v, c.k, c.t, g.At(c.k, c.t).Protocol, sum.Runs, outcome)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(w, "\n**%d cell validations FAILED.**\n\n", failures)
+	} else {
+		fmt.Fprintf(w, "\nAll sampled cells validated.\n\n")
+	}
+	return nil
+}
+
+func writeConstructions(w io.Writer, n int) error {
+	fmt.Fprintf(w, "## Impossibility constructions (n=%d)\n\n", n)
+	fmt.Fprintf(w, "| construction | lemma | expected | exhibited |\n|---|---|---|---|\n")
+
+	emit := func(name, lemma, expect string, out *harness.RunOutcome) {
+		if out == nil {
+			fmt.Fprintf(w, "| %s | %s | %s | NO VIOLATION |\n", name, lemma, expect)
+			return
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %d distinct decisions / %v |\n",
+			name, lemma, expect, len(out.Record.CorrectDecisions()), condition(out))
+	}
+
+	if cons, err := adversary.Lemma32FloodMin(n, 2, (n-1)/2); err == nil {
+		out, err := harness.RunConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	if cons, err := adversary.Lemma33ProtocolA(n, 2, n-n/4); err == nil {
+		out, err := harness.RunConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	if cons, err := adversary.Lemma35FloodMin(n, 2, 1); err == nil {
+		out, err := harness.RunConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	if cons, err := adversary.Lemma36ProtocolB(n, 2, (2*n+4)/5); err == nil {
+		out, err := harness.RunConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	if cons, err := adversary.BoundaryProtocolA(n, 2); err == nil {
+		out, err := harness.RunConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	if cons, err := adversary.Lemma39ProtocolA(n, 2, n/2+1); err == nil {
+		out, err := harness.RunConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	if cons, err := adversary.Lemma310FloodMin(n, 2, 1); err == nil {
+		out, err := harness.RunConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	if cons, err := adversary.Lemma43ProtocolF(n, 2, n/2+1); err == nil {
+		out, err := harness.RunSMConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	if cons, err := adversary.Lemma49ProtocolE(n, 2, 1); err == nil {
+		out, err := harness.RunSMConstruction(cons, 8)
+		if err != nil {
+			return err
+		}
+		emit(cons.Name, cons.Lemma, cons.Expect, out)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func condition(out *harness.RunOutcome) string {
+	var v *checker.Violation
+	if errors.As(out.Err, &v) {
+		return v.Condition + " violated"
+	}
+	return out.Err.Error()
+}
+
+func writeHalting(w io.Writer, cfg Config) {
+	fmt.Fprintf(w, "## Terminating-protocol experiment (the paper's open problem)\n\n")
+	fmt.Fprintf(w, "| protocol | helping | halting after decide |\n|---|---|---|\n")
+	n := cfg.N
+	uniform := make([]types.Value, n)
+	for i := range uniform {
+		uniform[i] = 4
+	}
+	distinct := make([]types.Value, n)
+	for i := range distinct {
+		distinct[i] = types.Value(i + 1)
+	}
+	trials := []struct {
+		name    string
+		k, t    int
+		inputs  []types.Value
+		sched   mpnet.Scheduler
+		factory func() mpnet.Protocol
+	}{
+		{"FloodMin", 3, 2, distinct, nil, func() mpnet.Protocol { return mp.NewFloodMin() }},
+		{"Protocol A", 2, 3, uniform, nil, func() mpnet.Protocol { return mp.NewProtocolA() }},
+		{"Protocol C(1)", 3, 1, uniform,
+			mpnet.NewDelayProcess(n, types.ProcessID(n-1)),
+			func() mpnet.Protocol { return mp.NewProtocolC(1) }},
+		{"Protocol D", 3, 2, distinct, nil, func() mpnet.Protocol { return mp.NewProtocolD() }},
+	}
+	verdictFor := func(factory func() mpnet.Protocol, k, t int,
+		inputs []types.Value, sched mpnet.Scheduler, halt bool) string {
+		rec, err := mpnet.Run(mpnet.Config{
+			N: n, T: t, K: k,
+			Inputs:       inputs,
+			NewProtocol:  func(types.ProcessID) mpnet.Protocol { return factory() },
+			Scheduler:    sched,
+			Seed:         5,
+			HaltOnDecide: halt,
+		})
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		if checker.CheckTermination(rec) != nil {
+			return "wedges"
+		}
+		return "terminates"
+	}
+	for _, tr := range trials {
+		fmt.Fprintf(w, "| %s | %s | %s |\n", tr.name,
+			verdictFor(tr.factory, tr.k, tr.t, tr.inputs, tr.sched, false),
+			verdictFor(tr.factory, tr.k, tr.t, tr.inputs, tr.sched, true))
+	}
+	fmt.Fprintln(w)
+}
+
+// writeExhaustive re-derives the one-shot protocols' region boundaries by
+// exhaustive small-scope verification (every input pattern, faulty set and
+// arrival subset at n=5).
+func writeExhaustive(w io.Writer) {
+	fmt.Fprintf(w, "## Exhaustive small-scope rederivation (n=5, all adversaries)\n\n")
+	fmt.Fprintf(w, "| protocol | condition | boundary re-derived | cells checked |\n|---|---|---|---|\n")
+	const n = 5
+	rules := []struct {
+		rule     exhaustive.Rule
+		validity types.Validity
+		region   func(k, t int) bool
+		formula  string
+	}{
+		{exhaustive.FloodMinRule{}, types.RV1,
+			func(k, t int) bool { return t < k }, "t < k"},
+		{exhaustive.ProtocolARule{}, types.RV2,
+			func(k, t int) bool { return theory.ProtocolARegion(n, k, t) }, "kt < (k-1)n"},
+		{exhaustive.ProtocolBRule{}, types.SV2,
+			func(k, t int) bool { return theory.ProtocolBRegion(n, k, t) }, "2kt < (k-1)n"},
+	}
+	for _, r := range rules {
+		match := true
+		cells := 0
+		for k := 2; k <= n-1; k++ {
+			for t := 1; t <= n-1; t++ {
+				cells++
+				if exhaustive.Verify(r.rule, r.validity, n, k, t, 0).Holds != r.region(k, t) {
+					match = false
+				}
+			}
+		}
+		verdictStr := "EXACT: " + r.formula
+		if !match {
+			verdictStr = "MISMATCH vs " + r.formula
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %d |\n", r.rule.Name(), r.validity, verdictStr, cells)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeGapProbes enumerates the open cells the paper leaves between
+// Protocol B's region (Lemma 3.8) and the SV2 impossibility (Lemma 3.6) at
+// a small n, and reports the exhaustive verdict for Protocol B at each:
+// B fails throughout the gap, so the gap is open only for OTHER protocols.
+func writeGapProbes(w io.Writer) {
+	const n = 6 // exhaustive cost grows as (k+2)^n: keep small
+	fmt.Fprintf(w, "## Open-gap probes: MP/CR SV2 at n=%d\n\n", n)
+	fmt.Fprintf(w, "| cell | paper status | Protocol B (exhaustive) |\n|---|---|---|\n")
+	for k := 2; k <= n-1; k++ {
+		for t := 1; t <= n-1; t++ {
+			if theory.Classify(types.MPCR, types.SV2, n, k, t).Status != theory.Open {
+				continue
+			}
+			verdict := exhaustive.Verify(exhaustive.ProtocolBRule{}, types.SV2, n, k, t, 0)
+			outcome := "fails — gap open for other protocols"
+			if verdict.Holds {
+				outcome = "HOLDS — candidate to close the gap"
+			}
+			fmt.Fprintf(w, "| k=%d t=%d | open | %s |\n", k, t, outcome)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// writeLatency profiles decision latency (global delivery events until the
+// first and last correct decision) for each message-passing protocol on a
+// failure-free distinct-input workload.
+func writeLatency(w io.Writer, cfg Config) {
+	fmt.Fprintf(w, "## Decision latency profile (failure-free, n=%d, delivery events)\n\n", cfg.N)
+	fmt.Fprintf(w, "| protocol | first decision | last decision | messages |\n|---|---|---|---|\n")
+	n := cfg.N
+	inputs := make([]types.Value, n)
+	for i := range inputs {
+		inputs[i] = types.Value(i + 1)
+	}
+	uniform := make([]types.Value, n)
+	for i := range uniform {
+		uniform[i] = 3
+	}
+	trials := []struct {
+		name    string
+		k, t    int
+		inputs  []types.Value
+		factory func() mpnet.Protocol
+	}{
+		{"FloodMin", n / 2, n/2 - 1, inputs, func() mpnet.Protocol { return mp.NewFloodMin() }},
+		{"Protocol A", 2, (n - 1) / 3, uniform, func() mpnet.Protocol { return mp.NewProtocolA() }},
+		{"Protocol B", n - 1, n / 8, uniform, func() mpnet.Protocol { return mp.NewProtocolB() }},
+		{"Protocol C(1)", n - 1, (n - 1) / 4, uniform, func() mpnet.Protocol { return mp.NewProtocolC(1) }},
+		{"Protocol D", n - 1, (n - 1) / 4, inputs, func() mpnet.Protocol { return mp.NewProtocolD() }},
+	}
+	for _, tr := range trials {
+		if tr.k < 2 || tr.k > n-1 || tr.t < 1 {
+			continue
+		}
+		rec, err := mpnet.Run(mpnet.Config{
+			N: n, T: tr.t, K: tr.k,
+			Inputs:      tr.inputs,
+			NewProtocol: func(types.ProcessID) mpnet.Protocol { return tr.factory() },
+			Seed:        cfg.Seed + 7,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "| %s | error: %v | | |\n", tr.name, err)
+			continue
+		}
+		lats, ok := rec.DecisionLatencies()
+		if !ok || len(lats) == 0 {
+			fmt.Fprintf(w, "| %s | (no decisions) | | %d |\n", tr.name, rec.Messages)
+			continue
+		}
+		fmt.Fprintf(w, "| %s (k=%d t=%d) | %d | %d | %d |\n",
+			tr.name, tr.k, tr.t, lats[0], lats[len(lats)-1], rec.Messages)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeTightness(w io.Writer, cfg Config) {
+	fmt.Fprintf(w, "## Agreement tightness in typical adversarial runs (n=%d)\n\n", cfg.N)
+	fmt.Fprintf(w, "| protocol | bound k | max distinct observed | mean distinct | default decisions |\n|---|---|---|---|---|\n")
+	n := cfg.N
+	trials := []struct {
+		name    string
+		k, t    int
+		v       types.Validity
+		factory func() mpnet.Protocol
+	}{
+		{"FloodMin", n/2 + 1, n / 2, types.RV1, func() mpnet.Protocol { return mp.NewFloodMin() }},
+		{"Protocol A", 3, (2*n - 1) / 3, types.RV2, func() mpnet.Protocol { return mp.NewProtocolA() }},
+		{"Protocol B", n - 2, n/4 + 1, types.SV2, func() mpnet.Protocol { return mp.NewProtocolB() }},
+	}
+	for _, tr := range trials {
+		if !validPoint(n, tr.k, tr.t) {
+			continue
+		}
+		s := &harness.MPSweep{
+			Name: tr.name, N: n, K: tr.k, T: tr.t,
+			Validity:    tr.v,
+			NewProtocol: func(types.ProcessID) mpnet.Protocol { return tr.factory() },
+			Runs:        cfg.Runs * 4,
+			BaseSeed:    cfg.Seed + 99,
+		}
+		sum := s.Execute()
+		fmt.Fprintf(w, "| %s (t=%d) | %d | %d | %.2f | %d |\n",
+			tr.name, tr.t, tr.k, sum.MaxDistinct(), sum.MeanDistinct(), sum.DefaultDecisions)
+	}
+	fmt.Fprintln(w)
+}
+
+func validPoint(n, k, t int) bool {
+	return k >= 2 && k <= n-1 && t >= 1 && t <= n
+}

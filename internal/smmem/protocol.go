@@ -1,0 +1,94 @@
+// Package smmem implements the paper's asynchronous shared-memory model
+// (Section 4): processes communicate through single-writer multi-reader
+// atomic registers. The memory itself never fails; processes accessing it
+// may crash or behave arbitrarily, but even a Byzantine process can only
+// write registers it owns — the API makes violating single-writer physically
+// impossible, mirroring the middleware systems the paper cites that
+// "guarantee that shared objects themselves do not fail".
+//
+// Atomicity and determinism come from a turn-based scheduler: each process
+// runs as a goroutine whose every register operation blocks until granted,
+// and the scheduler grants exactly one operation at a time, in an order
+// chosen by a (possibly adversarial) policy from a seeded random stream.
+// Operations are therefore trivially linearizable and a run is a pure
+// function of (protocol, parameters, adversary, seed).
+//
+// Registers are created on first write and named by (owner, name) pairs;
+// dynamic creation supports the unbounded register sequences of the paper's
+// SIMULATION transformation. A register holds a types.Payload; protocols
+// that only need plain values use the KindInput payload wrapper.
+package smmem
+
+import (
+	"kset/internal/prng"
+	"kset/internal/types"
+)
+
+// Protocol is the behaviour of one shared-memory process: Run executes the
+// whole protocol, blocking inside API calls whenever it touches the memory.
+// Run should return when the process is done; processes that must keep
+// "helping" (e.g. the SIMULATION wrapper) may loop forever and will be
+// unwound by the runtime once every correct process has decided.
+type Protocol interface {
+	Run(api API)
+}
+
+// API is the interface the runtime hands to shared-memory protocol code.
+// All methods must be called from the goroutine running Protocol.Run.
+type API interface {
+	// ID returns this process's identity.
+	ID() types.ProcessID
+	// N returns the number of processes.
+	N() int
+	// T returns the declared failure bound t.
+	T() int
+	// K returns the agreement bound k.
+	K() int
+	// Input returns this process's input value.
+	Input() types.Value
+	// Write atomically writes p into this process's register named reg,
+	// creating it if needed. Only the owner can ever write it.
+	Write(reg string, p types.Payload)
+	// Read atomically reads register reg of owner. ok is false when the
+	// register has never been written.
+	Read(owner types.ProcessID, reg string) (p types.Payload, ok bool)
+	// WriteValue is shorthand for Write with a KindInput payload.
+	WriteValue(reg string, v types.Value)
+	// ReadValue is shorthand for Read returning just the payload value.
+	ReadValue(owner types.ProcessID, reg string) (v types.Value, ok bool)
+	// Decide records this process's irrevocable decision; it costs no
+	// memory operation. A correct process must decide at most once.
+	Decide(v types.Value)
+	// HasDecided reports whether Decide has been called.
+	HasDecided() bool
+	// Rand returns this process's private deterministic random stream.
+	Rand() *prng.Source
+}
+
+// View exposes run state to schedulers and adversaries. Slices are owned by
+// the runtime and must not be mutated.
+type View struct {
+	N       int
+	T       int
+	K       int
+	Decided []bool
+	Crashed []bool
+	Faulty  []bool
+	Ops     int // register operations granted so far
+}
+
+// Scheduler picks which pending process performs the next register
+// operation. pending is non-empty and sorted by process id; returning a
+// process not in pending is a programming error and aborts the run.
+type Scheduler interface {
+	Next(view *View, pending []types.ProcessID, rng *prng.Source) types.ProcessID
+}
+
+// CrashAdversary injects crash failures between register operations (an
+// atomic register operation cannot be half-performed). The runtime enforces
+// the fault budget t.
+type CrashAdversary interface {
+	// CrashBeforeOp is consulted before granting p its opIndex-th
+	// operation; returning true crashes p instead.
+	CrashBeforeOp(view *View, p types.ProcessID, opIndex int) bool
+}

@@ -1,0 +1,511 @@
+package smmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"kset/internal/prng"
+	"kset/internal/types"
+)
+
+// DefaultOpBudgetFactor scales the default operation budget: budget =
+// factor * n * n + n. Spinning protocols (Protocol F, SIMULATION pollers)
+// perform O(n) operations per round, so this allows O(n) rounds per process
+// under a fair scheduler — ample for every protocol in the paper.
+const DefaultOpBudgetFactor = 512
+
+// Config describes one simulated shared-memory run.
+type Config struct {
+	N int // number of processes
+	T int // declared failure bound
+	K int // agreement bound
+
+	// Inputs are the process input values; len(Inputs) must equal N.
+	Inputs []types.Value
+
+	// NewProtocol constructs the protocol instance for a correct process.
+	NewProtocol func(id types.ProcessID) Protocol
+
+	// Byzantine maps faulty process ids to their strategies. They count
+	// against the fault budget T. The API still restricts their writes to
+	// their own registers (single-writer is enforced by the memory).
+	Byzantine map[types.ProcessID]Protocol
+
+	// Crash injects crash failures; nil means no crashes.
+	Crash CrashAdversary
+
+	// Scheduler picks operation interleaving; nil means FairRandom.
+	Scheduler Scheduler
+
+	// Seed drives every random choice in the run.
+	Seed uint64
+
+	// MaxOps caps register operations; 0 selects the default budget.
+	MaxOps int
+
+	// Trace, if non-nil, observes every operation, decision and crash.
+	Trace func(TraceEvent)
+}
+
+// Errors reported by Run for misconfigured or buggy setups.
+var (
+	ErrBadConfig    = errors.New("smmem: invalid configuration")
+	ErrDoubleDecide = errors.New("smmem: correct process decided twice")
+	ErrFaultBudget  = errors.New("smmem: adversary exceeded fault budget")
+	ErrBadSchedule  = errors.New("smmem: scheduler chose a non-pending process")
+)
+
+// regKey names one register: single-writer means the owner is part of the
+// identity.
+type regKey struct {
+	owner types.ProcessID
+	name  string
+}
+
+// opKind enumerates the request types a process goroutine can post.
+type opKind uint8
+
+const (
+	opRead opKind = iota + 1
+	opWrite
+	opExit // Protocol.Run returned
+)
+
+// request is posted by a process goroutine and granted by the scheduler.
+type request struct {
+	pid   types.ProcessID
+	kind  opKind
+	key   regKey
+	value types.Payload
+	reply chan reply
+}
+
+// reply carries the operation result; halt unwinds the goroutine.
+type reply struct {
+	value types.Payload
+	ok    bool
+	halt  bool
+}
+
+// haltSignal is panicked inside API calls to unwind a process goroutine
+// when the runtime halts or crashes it; the goroutine wrapper recovers it.
+type haltSignal struct{}
+
+type smProcess struct {
+	id        types.ProcessID
+	proto     Protocol
+	input     types.Value
+	rng       *prng.Source
+	decided   bool
+	decision  types.Value
+	decidedAt int
+	crashed   bool
+	byz       bool
+	ops       int
+
+	reqCh chan<- request
+	rep   chan reply
+}
+
+// smAPI adapts a process to the API interface. Decide and the metadata
+// accessors touch only goroutine-local state plus the runtime's decision
+// board, which is written exclusively while the owning goroutine holds the
+// turn... Decide is special: it costs no memory op, so it must synchronize.
+type smAPI struct {
+	p  *smProcess
+	rt *smRuntime
+}
+
+var _ API = (*smAPI)(nil)
+
+func (a *smAPI) ID() types.ProcessID { return a.p.id }
+func (a *smAPI) N() int              { return a.rt.n }
+func (a *smAPI) T() int              { return a.rt.t }
+func (a *smAPI) K() int              { return a.rt.k }
+func (a *smAPI) Input() types.Value  { return a.p.input }
+func (a *smAPI) Rand() *prng.Source  { return a.p.rng }
+func (a *smAPI) HasDecided() bool    { return a.p.decided }
+
+func (a *smAPI) Write(reg string, p types.Payload) {
+	a.op(request{pid: a.p.id, kind: opWrite, key: regKey{owner: a.p.id, name: reg}, value: p})
+}
+
+func (a *smAPI) Read(owner types.ProcessID, reg string) (types.Payload, bool) {
+	rep := a.op(request{pid: a.p.id, kind: opRead, key: regKey{owner: owner, name: reg}})
+	return rep.value, rep.ok
+}
+
+func (a *smAPI) WriteValue(reg string, v types.Value) {
+	a.Write(reg, types.Payload{Kind: types.KindInput, Value: v})
+}
+
+func (a *smAPI) ReadValue(owner types.ProcessID, reg string) (types.Value, bool) {
+	p, ok := a.Read(owner, reg)
+	return p.Value, ok
+}
+
+func (a *smAPI) Decide(v types.Value) {
+	// Deciding is a local action: it is reported with the process's next
+	// operation request, so the scheduler sees it before granting anything
+	// else. Store locally; the runtime collects it on the next request.
+	p := a.p
+	if p.decided {
+		if !p.byz {
+			a.rt.recordBug(fmt.Errorf("%w: %s decided %d after deciding %d",
+				ErrDoubleDecide, p.id, v, p.decision))
+		}
+		return
+	}
+	p.decided = true
+	p.decision = v
+}
+
+// op posts a request and blocks until granted; a halt reply unwinds the
+// goroutine via panic(haltSignal{}).
+func (a *smAPI) op(req request) reply {
+	req.reply = a.p.rep
+	a.rt.reqCh <- req
+	rep := <-a.p.rep
+	if rep.halt {
+		panic(haltSignal{})
+	}
+	return rep
+}
+
+type smRuntime struct {
+	cfg     Config
+	n, t, k int
+	procs   []*smProcess
+	regs    map[regKey]types.Payload
+	view    View
+	rng     *prng.Source
+	budget  int
+	sched   Scheduler
+	reqCh   chan request
+
+	mu  sync.Mutex
+	err error
+
+	budgetExhausted bool
+}
+
+func (rt *smRuntime) recordBug(err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.err == nil {
+		rt.err = err
+	}
+}
+
+func (rt *smRuntime) bug() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err
+}
+
+// Run executes one shared-memory run to completion (all correct processes
+// decided, quiescence, or budget exhaustion) and returns its record. All
+// process goroutines have exited by the time Run returns.
+func Run(cfg Config) (*types.RunRecord, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	rt := newRuntime(cfg)
+	rt.run()
+	if err := rt.bug(); err != nil {
+		return nil, err
+	}
+	return rt.record(), nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.N <= 0 {
+		return fmt.Errorf("%w: n=%d", ErrBadConfig, cfg.N)
+	}
+	if len(cfg.Inputs) != cfg.N {
+		return fmt.Errorf("%w: %d inputs for n=%d", ErrBadConfig, len(cfg.Inputs), cfg.N)
+	}
+	if cfg.T < 0 || cfg.K <= 0 {
+		return fmt.Errorf("%w: t=%d k=%d", ErrBadConfig, cfg.T, cfg.K)
+	}
+	if cfg.NewProtocol == nil {
+		return fmt.Errorf("%w: NewProtocol is nil", ErrBadConfig)
+	}
+	if len(cfg.Byzantine) > cfg.T {
+		return fmt.Errorf("%w: %d Byzantine processes exceed t=%d",
+			ErrFaultBudget, len(cfg.Byzantine), cfg.T)
+	}
+	for id := range cfg.Byzantine {
+		if int(id) < 0 || int(id) >= cfg.N {
+			return fmt.Errorf("%w: Byzantine id %d out of range", ErrBadConfig, id)
+		}
+	}
+	return nil
+}
+
+func newRuntime(cfg Config) *smRuntime {
+	n := cfg.N
+	rt := &smRuntime{
+		cfg: cfg,
+		n:   n, t: cfg.T, k: cfg.K,
+		regs:   make(map[regKey]types.Payload),
+		rng:    prng.New(cfg.Seed),
+		budget: cfg.MaxOps,
+		sched:  cfg.Scheduler,
+		reqCh:  make(chan request),
+	}
+	if rt.budget == 0 {
+		rt.budget = DefaultOpBudgetFactor*n*n + n
+	}
+	if rt.sched == nil {
+		rt.sched = FairRandom{}
+	}
+	rt.view = View{
+		N: n, T: cfg.T, K: cfg.K,
+		Decided: make([]bool, n),
+		Crashed: make([]bool, n),
+		Faulty:  make([]bool, n),
+	}
+	rt.procs = make([]*smProcess, n)
+	for i := 0; i < n; i++ {
+		id := types.ProcessID(i)
+		p := &smProcess{
+			id:    id,
+			input: cfg.Inputs[i],
+			rng:   rt.rng.Split(),
+			reqCh: rt.reqCh,
+			rep:   make(chan reply),
+		}
+		if strat, ok := cfg.Byzantine[id]; ok {
+			p.proto = strat
+			p.byz = true
+			rt.view.Faulty[i] = true
+		} else {
+			p.proto = cfg.NewProtocol(id)
+		}
+		rt.procs[i] = p
+	}
+	return rt
+}
+
+func (rt *smRuntime) trace(ev TraceEvent) {
+	if rt.cfg.Trace != nil {
+		ev.OpIndex = rt.view.Ops
+		rt.cfg.Trace(ev)
+	}
+}
+
+func (rt *smRuntime) faultCount() int {
+	c := 0
+	for _, p := range rt.procs {
+		if p.crashed || p.byz {
+			c++
+		}
+	}
+	return c
+}
+
+func (rt *smRuntime) mayCrash(p *smProcess) bool {
+	return !p.crashed && !p.byz && rt.faultCount() < rt.t
+}
+
+func (rt *smRuntime) allCorrectDecided() bool {
+	for _, p := range rt.procs {
+		if p.crashed || p.byz {
+			continue
+		}
+		if !p.decided {
+			return false
+		}
+	}
+	return true
+}
+
+// run drives the turn-based schedule. Exactly one process goroutine executes
+// at any moment: the runtime waits for every live process to block on a
+// request (or exit) before granting the next operation, so runs are
+// deterministic.
+func (rt *smRuntime) run() {
+	var wg sync.WaitGroup
+	wg.Add(rt.n)
+	for _, p := range rt.procs {
+		p := p
+		go func() {
+			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					// Protocol.Run returned normally: tell the runtime this
+					// process is gone.
+					rt.reqCh <- request{pid: p.id, kind: opExit, reply: p.rep}
+					return
+				}
+				if _, ok := r.(haltSignal); ok {
+					// Unwound by the runtime (halt or crash), which already
+					// accounts for this process; do not post an exit.
+					return
+				}
+				panic(r) // real bug: propagate
+			}()
+			p.proto.Run(&smAPI{p: p, rt: rt})
+		}()
+	}
+
+	// outstanding counts goroutines that are executing protocol code and
+	// have not yet blocked on a request or exited. Every read of shared
+	// per-process state below happens only when outstanding == 0, so the
+	// schedule is deterministic and race-free (requests on reqCh establish
+	// the happens-before edges).
+	outstanding := rt.n
+	pending := make(map[types.ProcessID]request, rt.n)
+
+	drain := func() {
+		for outstanding > 0 {
+			req := <-rt.reqCh
+			if req.kind != opExit {
+				pending[req.pid] = req
+			}
+			outstanding--
+		}
+	}
+
+	haltAll := func() {
+		for pid, req := range pending {
+			delete(pending, pid)
+			req.reply <- reply{halt: true}
+		}
+	}
+
+	for {
+		drain()
+		if rt.bug() != nil {
+			haltAll()
+			break
+		}
+		if rt.allCorrectDecided() {
+			haltAll()
+			break
+		}
+		if len(pending) == 0 {
+			// Every process exited or crashed without full decision:
+			// quiescent. The checker will flag termination if violated.
+			break
+		}
+		if rt.view.Ops >= rt.budget {
+			rt.budgetExhausted = true
+			haltAll()
+			break
+		}
+
+		// Refresh the decision board from goroutine-local state: a decision
+		// becomes visible when the process posts its next request or exit;
+		// the operation count at that moment is the decision's latency.
+		for _, p := range rt.procs {
+			if p.decided && !rt.view.Decided[p.id] {
+				p.decidedAt = rt.view.Ops
+			}
+			rt.view.Decided[p.id] = p.decided
+		}
+
+		ids := make([]types.ProcessID, 0, len(pending))
+		for pid := range pending {
+			ids = append(ids, pid)
+		}
+		sortIDs(ids)
+		pid := rt.sched.Next(&rt.view, ids, rt.rng)
+		req, ok := pending[pid]
+		if !ok {
+			rt.recordBug(fmt.Errorf("%w: %v", ErrBadSchedule, pid))
+			haltAll()
+			break
+		}
+		p := rt.procs[pid]
+
+		if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(p) &&
+			adv.CrashBeforeOp(&rt.view, pid, p.ops) {
+			p.crashed = true
+			rt.view.Crashed[pid] = true
+			rt.view.Faulty[pid] = true
+			rt.trace(TraceEvent{Type: EvCrash, Proc: pid})
+			delete(pending, pid)
+			req.reply <- reply{halt: true}
+			continue
+		}
+
+		delete(pending, pid)
+		rt.view.Ops++
+		p.ops++
+		switch req.kind {
+		case opRead:
+			v, present := rt.regs[req.key]
+			rt.trace(TraceEvent{Type: EvRead, Proc: pid, Owner: req.key.owner,
+				Register: req.key.name, Payload: v, Present: present})
+			outstanding++
+			req.reply <- reply{value: v, ok: present}
+		case opWrite:
+			rt.regs[req.key] = req.value
+			rt.trace(TraceEvent{Type: EvWrite, Proc: pid, Owner: req.key.owner,
+				Register: req.key.name, Payload: req.value, Present: true})
+			outstanding++
+			req.reply <- reply{ok: true}
+		default:
+			rt.recordBug(fmt.Errorf("smmem: internal: unexpected op kind %d", req.kind))
+			haltAll()
+		}
+		if rt.bug() != nil {
+			drain()
+			haltAll()
+			break
+		}
+	}
+
+	// Collect decisions made right before exits that are already drained.
+	wg.Wait()
+	for _, p := range rt.procs {
+		if p.decided && !rt.view.Decided[p.id] {
+			p.decidedAt = rt.view.Ops
+		}
+		rt.view.Decided[p.id] = p.decided
+		if p.decided {
+			rt.trace(TraceEvent{Type: EvDecide, Proc: p.id, Value: p.decision})
+		}
+	}
+}
+
+func sortIDs(ids []types.ProcessID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func (rt *smRuntime) record() *types.RunRecord {
+	mode := types.Crash
+	if len(rt.cfg.Byzantine) > 0 {
+		mode = types.Byzantine
+	}
+	rec := &types.RunRecord{
+		N: rt.n, T: rt.t, K: rt.k,
+		Model:           types.Model{Comm: types.SharedMemory, Failure: mode},
+		Inputs:          append([]types.Value(nil), rt.cfg.Inputs...),
+		Faulty:          append([]bool(nil), rt.view.Faulty...),
+		Decided:         make([]bool, rt.n),
+		Decisions:       make([]types.Value, rt.n),
+		Events:          rt.view.Ops,
+		Seed:            rt.cfg.Seed,
+		BudgetExhausted: rt.budgetExhausted,
+	}
+	rec.DecidedAtEvent = make([]int, rt.n)
+	for i, p := range rt.procs {
+		rec.Decided[i] = p.decided
+		rec.Decisions[i] = p.decision
+		if p.decided {
+			rec.DecidedAtEvent[i] = p.decidedAt
+		} else {
+			rec.DecidedAtEvent[i] = -1
+		}
+	}
+	return rec
+}

@@ -1,0 +1,183 @@
+package smmem
+
+import (
+	"testing"
+
+	"kset/internal/prng"
+	"kset/internal/types"
+)
+
+func smView(n int) *View {
+	return &View{
+		N:       n,
+		Decided: make([]bool, n),
+		Crashed: make([]bool, n),
+		Faulty:  make([]bool, n),
+	}
+}
+
+func pids(ids ...int) []types.ProcessID {
+	out := make([]types.ProcessID, len(ids))
+	for i, v := range ids {
+		out[i] = types.ProcessID(v)
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := &RoundRobin{}
+	pending := pids(0, 1, 2)
+	view := smView(3)
+	rng := prng.New(1)
+	var order []types.ProcessID
+	for i := 0; i < 6; i++ {
+		order = append(order, rr.Next(view, pending, rng))
+	}
+	want := pids(1, 2, 0, 1, 2, 0) // last starts at 0, so first grant is 1
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("round-robin order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHoldReleasesOnWatchedDecisions(t *testing.T) {
+	h := NewHold(4, pids(2, 3), pids(0, 1))
+	view := smView(4)
+	pending := pids(0, 1, 2, 3)
+	rng := prng.New(2)
+	for i := 0; i < 50; i++ {
+		if got := h.Next(view, pending, rng); got >= 2 {
+			t.Fatal("held process granted while gate closed")
+		}
+	}
+	view.Decided[0] = true
+	view.Decided[1] = true
+	sawHeld := false
+	for i := 0; i < 50; i++ {
+		if got := h.Next(view, pending, rng); got >= 2 {
+			sawHeld = true
+			break
+		}
+	}
+	if !sawHeld {
+		t.Fatal("gate never opened after watched processes decided")
+	}
+}
+
+func TestHoldIgnoresFaultyWatched(t *testing.T) {
+	h := NewHold(3, pids(2), pids(0, 1))
+	view := smView(3)
+	view.Decided[0] = true
+	view.Faulty[1] = true // will never decide; must not wedge the gate
+	pending := pids(2)
+	if got := h.Next(view, pending, prng.New(1)); got != 2 {
+		t.Fatal("gate wedged on a faulty watched process")
+	}
+}
+
+func TestHoldReleaseDeadline(t *testing.T) {
+	h := NewHold(3, pids(2), pids(0, 1))
+	h.ReleaseAtOps = 100
+	view := smView(3)
+	view.Ops = 99
+	pending := pids(0, 2)
+	rng := prng.New(4)
+	for i := 0; i < 30; i++ {
+		if got := h.Next(view, pending, rng); got == 2 {
+			t.Fatal("held process granted before the deadline")
+		}
+	}
+	view.Ops = 100
+	saw := false
+	for i := 0; i < 30; i++ {
+		if h.Next(view, pending, rng) == 2 {
+			saw = true
+			break
+		}
+	}
+	if !saw {
+		t.Fatal("deadline did not release the held process")
+	}
+}
+
+func TestHoldFallsBackWhenAllPendingHeld(t *testing.T) {
+	h := NewHold(2, pids(0, 1), nil)
+	if got := h.Next(smView(2), pids(0), prng.New(1)); got != 0 {
+		t.Fatal("fallback must grant the only pending process")
+	}
+}
+
+func TestStarveAvoidsStarvedUntilDeadline(t *testing.T) {
+	s := NewStarve(3, 0)
+	s.ReleaseAtOps = 50
+	view := smView(3)
+	pending := pids(0, 1, 2)
+	rng := prng.New(9)
+	for i := 0; i < 40; i++ {
+		if got := s.Next(view, pending, rng); got == 0 {
+			t.Fatal("starved process granted before deadline")
+		}
+	}
+	view.Ops = 50
+	saw := false
+	for i := 0; i < 40; i++ {
+		if s.Next(view, pending, rng) == 0 {
+			saw = true
+			break
+		}
+	}
+	if !saw {
+		t.Fatal("deadline did not end the starvation")
+	}
+}
+
+func TestStarveFallsBackWhenOnlyStarvedPending(t *testing.T) {
+	s := NewStarve(2, 0)
+	if got := s.Next(smView(2), pids(0), prng.New(1)); got != 0 {
+		t.Fatal("fallback must grant the only pending process")
+	}
+}
+
+func TestCrashAfterDecideAdversary(t *testing.T) {
+	c := &CrashAfterDecide{Targets: map[types.ProcessID]bool{1: true}}
+	view := smView(3)
+	if c.CrashBeforeOp(view, 1, 0) {
+		t.Fatal("crashed before deciding")
+	}
+	view.Decided[1] = true
+	if !c.CrashBeforeOp(view, 1, 5) {
+		t.Fatal("did not crash after deciding")
+	}
+	if c.CrashBeforeOp(view, 0, 5) {
+		t.Fatal("non-target crashed")
+	}
+}
+
+func TestDecisionLatencyRecorded(t *testing.T) {
+	rec, err := Run(Config{
+		N: 3, T: 0, K: 3,
+		Inputs:      distinctInputs(3),
+		NewProtocol: func(types.ProcessID) Protocol { return &writerReader{quorum: 3} },
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats, ok := rec.DecisionLatencies()
+	if !ok {
+		t.Fatal("latency data missing")
+	}
+	if len(lats) != 3 {
+		t.Fatalf("%d latencies, want 3", len(lats))
+	}
+	for i := 1; i < len(lats); i++ {
+		if lats[i] < lats[i-1] {
+			t.Fatal("latencies not sorted")
+		}
+	}
+	// Each decision needs at least one write plus a full scan.
+	if lats[0] < 3 {
+		t.Errorf("first decision at op %d, impossibly early", lats[0])
+	}
+}

@@ -1,0 +1,133 @@
+package theory
+
+// This file encodes, with exact integer arithmetic, every threshold that
+// appears in the paper's lemmas. Each predicate is named after the protocol
+// or lemma it comes from and documents the rational inequality it decides.
+
+// ProtocolARegion reports Lemma 3.7's bound for Protocol A in MP/CR:
+// t < (k-1)n/k, i.e. k*t < (k-1)*n.
+func ProtocolARegion(n, k, t int) bool { return k*t < (k-1)*n }
+
+// ProtocolBRegion reports Lemma 3.8's bound for Protocol B in MP/CR:
+// t < (k-1)n/(2k), i.e. 2*k*t < (k-1)*n.
+func ProtocolBRegion(n, k, t int) bool { return 2*k*t < (k-1)*n }
+
+// Lemma33Impossible reports the WV2 impossibility of Lemma 3.3 in MP/CR:
+// t >= ((k-1)n+1)/k, i.e. k*t >= (k-1)*n + 1, i.e. k*t > (k-1)*n.
+func Lemma33Impossible(n, k, t int) bool { return k*t > (k-1)*n }
+
+// Lemma36Impossible reports the SV2 impossibility of Lemma 3.6 in MP/CR:
+// t >= k*n/(2k+1), i.e. (2k+1)*t >= k*n.
+func Lemma36Impossible(n, k, t int) bool { return (2*k+1)*t >= k*n }
+
+// Lemma39Impossible reports the WV2 impossibility of Lemma 3.9 in MP/Byz:
+// t >= k*n/(2k+1) and t >= k.
+func Lemma39Impossible(n, k, t int) bool { return (2*k+1)*t >= k*n && t >= k }
+
+// Lemma311Impossible reports the RV2 impossibility of Lemma 3.11 in MP/Byz:
+// t >= k*n/(2(k+1)), i.e. 2*(k+1)*t >= k*n.
+func Lemma311Impossible(n, k, t int) bool { return 2*(k+1)*t >= k*n }
+
+// ProtocolAByzWV2Region reports Lemmas 3.12 and 3.13: Protocol A solves
+// SC(k, t, WV2) in MP/Byz when
+//
+//	t < n/2 and k >= (n-t)/(n-2t) + 1   (Lemma 3.12), or
+//	t >= n/2 and k >= t + 1             (Lemma 3.13).
+//
+// The rational comparison k-1 >= (n-t)/(n-2t) is evaluated as
+// (k-1)*(n-2t) >= n-t.
+func ProtocolAByzWV2Region(n, k, t int) bool {
+	if 2*t < n {
+		return (k-1)*(n-2*t) >= n-t
+	}
+	return k >= t+1
+}
+
+// EchoAcceptThreshold returns the minimum echo count that triggers
+// acceptance in the l-echo broadcast: the smallest integer strictly greater
+// than (n + l*t)/(l+1).
+func EchoAcceptThreshold(n, t, l int) int {
+	return (n+l*t)/(l+1) + 1
+}
+
+// EchoEllValid reports Lemma 3.14's resilience condition for the l-echo
+// broadcast: t < l*n/(2l+1), i.e. (2l+1)*t < l*n.
+func EchoEllValid(n, t, l int) bool { return (2*l+1)*t < l*n }
+
+// ProtocolCRegion reports Lemma 3.15's bound for Protocol C(l) in MP/Byz:
+// t < (k-1)n/(2k+l-1) and t < l*n/(2l+1).
+func ProtocolCRegion(n, k, t, l int) bool {
+	return (2*k+l-1)*t < (k-1)*n && EchoEllValid(n, t, l)
+}
+
+// BestEchoEll returns the smallest l >= 1 for which Protocol C(l) covers
+// (n, k, t) per Lemma 3.15, or 0 if no l works. The first condition becomes
+// strictly harder as l grows and the second strictly easier, so the feasible
+// set of l is an interval and scanning l in [1, n] is exhaustive: for l > n
+// the first condition requires t*(2k+l-1) < (k-1)*n <= k*n <= l*n while the
+// second requires (2l+1)*t < l*n, both of which are already decided within
+// the scanned range.
+func BestEchoEll(n, k, t int) int {
+	for l := 1; l <= n; l++ {
+		// The resilience condition t*(2k+l-1) < (k-1)*n hardens as l grows:
+		// once it fails, no larger l can work.
+		if (2*k+l-1)*t >= (k-1)*n {
+			return 0
+		}
+		if EchoEllValid(n, t, l) {
+			return l
+		}
+	}
+	return 0
+}
+
+// V implements the paper's function V(n, t, f) (defined before Lemma 3.16):
+//
+//	V(n,t,f) = n - f                                  if n-t-f <= 0
+//	         = t + 1 - f + f*floor((n-f)/(n-t-f))     if n-t-f  > 0
+//
+// It bounds the number of distinct decision values in Protocol D when
+// exactly f processes are faulty.
+func V(n, t, f int) int {
+	if n-t-f <= 0 {
+		return n - f
+	}
+	return t + 1 - f + f*((n-f)/(n-t-f))
+}
+
+// Z implements the paper's Z(n, t) = max over 0 <= f <= t of
+// min{V(n,t,f), n-f}: the agreement bound achieved by Protocol D
+// (Lemma 3.16).
+func Z(n, t int) int {
+	z := 0
+	for f := 0; f <= t; f++ {
+		v := V(n, t, f)
+		if nf := n - f; v > nf {
+			v = nf
+		}
+		if v > z {
+			z = v
+		}
+	}
+	return z
+}
+
+// ProtocolDRegion reports Lemma 3.16's bound for Protocol D in MP/Byz:
+// k >= Z(n, t).
+func ProtocolDRegion(n, k, t int) bool { return k >= Z(n, t) }
+
+// Lemma43Impossible reports the SV2 impossibility of Lemma 4.3 in SM/CR:
+// t >= n/2 and t >= k.
+func Lemma43Impossible(n, k, t int) bool { return 2*t >= n && t >= k }
+
+// Lemma49Impossible reports the RV2 impossibility of Lemma 4.9 in SM/Byz:
+// t >= n/2 and t >= k (same shape as Lemma 4.3).
+func Lemma49Impossible(n, k, t int) bool { return 2*t >= n && t >= k }
+
+// ProtocolFRegion reports Lemmas 4.7 and 4.12: Protocol F solves
+// SC(k, t, SV2) in SM/CR and SM/Byz for k > t+1.
+func ProtocolFRegion(k, t int) bool { return k > t+1 }
+
+// FloodMinRegion reports Lemma 3.1 / 4.4: Chaudhuri's protocol solves
+// SC(k, t, RV1) for t < k (in MP/CR directly, in SM/CR via SIMULATION).
+func FloodMinRegion(k, t int) bool { return t < k }

@@ -1,0 +1,194 @@
+package theory
+
+import "testing"
+
+func TestProtocolARegionBoundary(t *testing.T) {
+	// t < (k-1)n/k with n=64, k=2: t < 32, so 31 in, 32 out.
+	if !ProtocolARegion(64, 2, 31) {
+		t.Error("(64,2,31) should be in Protocol A's region")
+	}
+	if ProtocolARegion(64, 2, 32) {
+		t.Error("(64,2,32) should be outside Protocol A's region")
+	}
+	// k=4: t < 48.
+	if !ProtocolARegion(64, 4, 47) || ProtocolARegion(64, 4, 48) {
+		t.Error("k=4 boundary should fall at t=48")
+	}
+}
+
+func TestProtocolBRegionBoundary(t *testing.T) {
+	// t < (k-1)n/(2k) with n=64, k=2: t < 16.
+	if !ProtocolBRegion(64, 2, 15) || ProtocolBRegion(64, 2, 16) {
+		t.Error("k=2 boundary should fall at t=16")
+	}
+	// k=8: t < 28.
+	if !ProtocolBRegion(64, 8, 27) || ProtocolBRegion(64, 8, 28) {
+		t.Error("k=8 boundary should fall at t=28")
+	}
+}
+
+func TestLemma33Boundary(t *testing.T) {
+	// Impossible iff k*t > (k-1)*n. n=64, k=2: t > 32, so 33 impossible,
+	// 32 not (the isolated open point when k | n).
+	if Lemma33Impossible(64, 2, 32) {
+		t.Error("(64,2,32) is the open boundary point, not impossible")
+	}
+	if !Lemma33Impossible(64, 2, 33) {
+		t.Error("(64,2,33) should be impossible")
+	}
+	// Non-divisible case: n=63, k=2: (k-1)n/k = 31.5; t=31 solvable,
+	// t=32 impossible — no open point.
+	if !ProtocolARegion(63, 2, 31) {
+		t.Error("(63,2,31) should be solvable")
+	}
+	if !Lemma33Impossible(63, 2, 32) {
+		t.Error("(63,2,32) should be impossible")
+	}
+}
+
+func TestLemma36Boundary(t *testing.T) {
+	// Impossible iff (2k+1)t >= kn. n=64, k=2: 5t >= 128, t >= 25.6 -> 26.
+	if Lemma36Impossible(64, 2, 25) {
+		t.Error("(64,2,25) should not be impossible by Lemma 3.6")
+	}
+	if !Lemma36Impossible(64, 2, 26) {
+		t.Error("(64,2,26) should be impossible by Lemma 3.6")
+	}
+}
+
+func TestSV2GapExistsInMPCR(t *testing.T) {
+	// Between Protocol B (t < (k-1)n/2k) and Lemma 3.6 (t >= kn/(2k+1))
+	// there is a gap: for n=64, k=2 it is t in [16, 25].
+	for tt := 16; tt <= 25; tt++ {
+		if ProtocolBRegion(64, 2, tt) {
+			t.Errorf("t=%d should be outside Protocol B's region", tt)
+		}
+		if Lemma36Impossible(64, 2, tt) {
+			t.Errorf("t=%d should be outside Lemma 3.6's region", tt)
+		}
+	}
+}
+
+func TestEchoAcceptThreshold(t *testing.T) {
+	// Threshold is the smallest count strictly above (n + l*t)/(l+1).
+	cases := []struct{ n, tt, l, want int }{
+		{7, 2, 1, 5},  // (7+2)/2 = 4.5 -> 5
+		{8, 2, 1, 6},  // (8+2)/2 = 5 -> 6
+		{10, 3, 2, 6}, // (10+6)/3 = 5.33 -> 6
+		{64, 20, 1, 43},
+	}
+	for _, c := range cases {
+		if got := EchoAcceptThreshold(c.n, c.tt, c.l); got != c.want {
+			t.Errorf("EchoAcceptThreshold(%d,%d,%d) = %d, want %d", c.n, c.tt, c.l, got, c.want)
+		}
+	}
+}
+
+func TestEchoEllValid(t *testing.T) {
+	// t < l*n/(2l+1): l=1 gives t < n/3, l=2 gives t < 2n/5.
+	if !EchoEllValid(9, 2, 1) || EchoEllValid(9, 3, 1) {
+		t.Error("l=1 resilience boundary should fall at t = n/3")
+	}
+	if !EchoEllValid(10, 3, 2) || EchoEllValid(10, 4, 2) {
+		t.Error("l=2 resilience boundary should fall at t = 2n/5")
+	}
+}
+
+func TestBestEchoEllPicksFeasibleEll(t *testing.T) {
+	for n := 4; n <= 40; n++ {
+		for k := 2; k <= n-1; k++ {
+			for tt := 1; tt <= n; tt++ {
+				l := BestEchoEll(n, k, tt)
+				if l == 0 {
+					// Verify genuinely no l in [1, n] works.
+					for cand := 1; cand <= n; cand++ {
+						if ProtocolCRegion(n, k, tt, cand) {
+							t.Fatalf("BestEchoEll(%d,%d,%d)=0 but l=%d works", n, k, tt, cand)
+						}
+					}
+					continue
+				}
+				if !ProtocolCRegion(n, k, tt, l) {
+					t.Fatalf("BestEchoEll(%d,%d,%d)=%d is not feasible", n, k, tt, l)
+				}
+				// Minimality.
+				for cand := 1; cand < l; cand++ {
+					if ProtocolCRegion(n, k, tt, cand) {
+						t.Fatalf("BestEchoEll(%d,%d,%d)=%d but smaller l=%d works", n, k, tt, l, cand)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVAndZAgainstHandComputedValues(t *testing.T) {
+	// Hand-computed examples from the definitions before Lemma 3.16.
+	cases := []struct{ n, tt, f, wantV int }{
+		{8, 2, 0, 3},   // t+1
+		{8, 2, 1, 3},   // 2 + 1*floor(7/5) = 3
+		{8, 2, 2, 3},   // 1 + 2*floor(6/4) = 3
+		{10, 4, 3, 8},  // 2 + 3*floor(7/3) = 8
+		{10, 4, 4, 13}, // 1 + 4*floor(6/2) = 13
+		{6, 4, 3, 3},   // n-t-f = -1 <= 0 -> n-f = 3
+	}
+	for _, c := range cases {
+		if got := V(c.n, c.tt, c.f); got != c.wantV {
+			t.Errorf("V(%d,%d,%d) = %d, want %d", c.n, c.tt, c.f, got, c.wantV)
+		}
+	}
+	zCases := []struct{ n, tt, want int }{
+		{8, 2, 3},
+		{8, 3, 6},  // max at f=2: 2 + 2*floor(6/3) = 6
+		{10, 4, 7}, // min(V, n-f) peaks at 7 (f=2 or f=3)
+	}
+	for _, c := range zCases {
+		if got := Z(c.n, c.tt); got != c.want {
+			t.Errorf("Z(%d,%d) = %d, want %d", c.n, c.tt, got, c.want)
+		}
+	}
+}
+
+func TestZEqualsTPlus1BelowNThird(t *testing.T) {
+	// Paper remark after Lemma 3.16: when t < n/3,
+	// floor((n-f)/(n-t-f)) = 1 for all 0 <= f <= t, so Z(n,t) = t+1 and
+	// Protocol D guarantees agreement for any k > t.
+	for n := 4; n <= 80; n++ {
+		for tt := 1; 3*tt < n; tt++ {
+			if got := Z(n, tt); got != tt+1 {
+				t.Errorf("Z(%d,%d) = %d, want %d (t < n/3)", n, tt, got, tt+1)
+			}
+		}
+	}
+}
+
+func TestZIsMonotoneInT(t *testing.T) {
+	for n := 4; n <= 64; n++ {
+		prev := 0
+		for tt := 0; tt <= n; tt++ {
+			z := Z(n, tt)
+			if z < prev {
+				t.Fatalf("Z(%d,%d) = %d < Z(%d,%d) = %d: not monotone", n, tt, z, n, tt-1, prev)
+			}
+			prev = z
+		}
+	}
+}
+
+func TestProtocolAByzWV2RegionMatchesLemmas(t *testing.T) {
+	// Lemma 3.12 example: n=8, t=2 (2t < n): need (k-1)(n-2t) >= n-t,
+	// i.e. (k-1)*4 >= 6, k >= 2.5 -> k >= 3.
+	if ProtocolAByzWV2Region(8, 2, 2) {
+		t.Error("(8,2,2) should be outside Lemma 3.12's region")
+	}
+	if !ProtocolAByzWV2Region(8, 3, 2) {
+		t.Error("(8,3,2) should be inside Lemma 3.12's region")
+	}
+	// Lemma 3.13: n=8, t=4 (2t >= n): k >= t+1 = 5.
+	if ProtocolAByzWV2Region(8, 4, 4) {
+		t.Error("(8,4,4) should be outside Lemma 3.13's region")
+	}
+	if !ProtocolAByzWV2Region(8, 5, 4) {
+		t.Error("(8,5,4) should be inside Lemma 3.13's region")
+	}
+}

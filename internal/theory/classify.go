@@ -1,0 +1,297 @@
+package theory
+
+import (
+	"fmt"
+
+	"kset/internal/types"
+)
+
+// Status labels a point (k, t) of one problem variant.
+type Status uint8
+
+// Point statuses. Open marks the gaps the paper leaves between its
+// possibility and impossibility results.
+const (
+	Solvable Status = iota + 1
+	Impossible
+	Open
+)
+
+// String returns "solvable", "impossible" or "open".
+func (s Status) String() string {
+	switch s {
+	case Solvable:
+		return "solvable"
+	case Impossible:
+		return "impossible"
+	case Open:
+		return "open"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Result is the classification of one (model, validity, n, k, t) point.
+type Result struct {
+	Status Status
+	// Lemma cites the paper result that establishes the status
+	// ("Lemma 3.7", "Lemmas 3.12/3.13", ...). Empty for open points.
+	Lemma string
+	// Protocol names the protocol witnessing solvability (empty otherwise),
+	// e.g. "Protocol C(2) via SIMULATION".
+	Protocol string
+	// Proto identifies the witness protocol for programmatic use.
+	Proto ProtocolID
+	// EchoEll is the echo parameter l when Proto is ProtoC.
+	EchoEll int
+	// ViaSimulation reports that the witness is a message-passing protocol
+	// carried to shared memory by the SIMULATION transformation.
+	ViaSimulation bool
+}
+
+func solvable(lemma, protocol string) Result {
+	return Result{Status: Solvable, Lemma: lemma, Protocol: protocol}
+}
+
+// withProto attaches the structured witness identity to a solvable result.
+func (r Result) withProto(p ProtocolID, ell int, viaSim bool) Result {
+	r.Proto, r.EchoEll, r.ViaSimulation = p, ell, viaSim
+	return r
+}
+
+func impossible(lemma string) Result { return Result{Status: Impossible, Lemma: lemma} }
+
+var open = Result{Status: Open}
+
+// Classify labels the point (k, t) of problem SC(k, t, validity) with n
+// processes in the given model, per the paper's Figures 2, 4, 5 and 6, plus
+// the boundary cases the paper settles in Section 2:
+//
+//   - k >= n: trivially solvable for every validity condition and any t —
+//     each process decides its own input.
+//   - t = 0: solvable for every validity condition and any k >= 1 (with no
+//     failures FloodMin's single round collects every input and everyone
+//     decides the global minimum, a correct process's input).
+//   - k = 1 with t >= 1: classical consensus, impossible for every
+//     nontrivial validity condition in all four models ([17] FLP for
+//     message passing, [24] Loui-Abu-Amara for shared memory).
+//
+// Classify panics on nonsensical parameters (n < 2, k < 1, t < 0) so misuse
+// is caught early.
+func Classify(m types.Model, v types.Validity, n, k, t int) Result {
+	if n < 2 || k < 1 || t < 0 {
+		panic(fmt.Sprintf("theory: Classify called with nonsensical parameters: n=%d k=%d t=%d", n, k, t))
+	}
+	if k >= n {
+		return solvable("Section 2 (k >= n is trivial)", "Trivial").
+			withProto(ProtoTrivial, 0, m.Comm == types.SharedMemory)
+	}
+	if t == 0 {
+		return solvable("Section 2 (t = 0)", "FloodMin").withProto(ProtoFloodMin, 0, m.Comm == types.SharedMemory)
+	}
+	if k == 1 {
+		if m.Comm == types.SharedMemory {
+			return impossible("Section 2 (k = 1: consensus, impossible by [24])")
+		}
+		return impossible("Section 2 (k = 1: consensus, impossible by [17])")
+	}
+	switch m {
+	case types.MPCR:
+		return classifyMPCR(v, n, k, t)
+	case types.MPByz:
+		return classifyMPByz(v, n, k, t)
+	case types.SMCR:
+		return classifySMCR(v, n, k, t)
+	case types.SMByz:
+		return classifySMByz(v, n, k, t)
+	default:
+		panic(fmt.Sprintf("theory: Classify called with unknown model %v", m))
+	}
+}
+
+// classifyMPCR encodes Figure 2 (message passing, crash failures).
+func classifyMPCR(v types.Validity, n, k, t int) Result {
+	switch v {
+	case types.SV1:
+		// Lemma 3.5: never solvable for 2 <= k <= n-1.
+		return impossible("Lemma 3.5")
+	case types.SV2:
+		if ProtocolBRegion(n, k, t) {
+			return solvable("Lemma 3.8", "Protocol B").withProto(ProtoB, 0, false)
+		}
+		if Lemma36Impossible(n, k, t) {
+			return impossible("Lemma 3.6")
+		}
+		return open
+	case types.RV1:
+		if FloodMinRegion(k, t) {
+			return solvable("Lemma 3.1", "FloodMin").withProto(ProtoFloodMin, 0, false)
+		}
+		return impossible("Lemma 3.2")
+	case types.RV2:
+		if ProtocolARegion(n, k, t) {
+			return solvable("Lemma 3.7", "Protocol A").withProto(ProtoA, 0, false)
+		}
+		if Lemma33Impossible(n, k, t) {
+			// WV2 is weaker than RV2, so Lemma 3.3 carries upward.
+			return impossible("Lemma 3.3 (via WV2 weaker than RV2)")
+		}
+		// The isolated boundary points k*t == (k-1)*n, open in the paper.
+		return open
+	case types.WV1:
+		if t < k {
+			// WV1 is weaker than RV1; FloodMin solves it (Lemma 3.1).
+			return solvable("Lemma 3.1 (via RV1 stronger than WV1)", "FloodMin").withProto(ProtoFloodMin, 0, false)
+		}
+		return impossible("Lemma 3.4")
+	case types.WV2:
+		if ProtocolARegion(n, k, t) {
+			// WV2 is weaker than RV2; Protocol A solves it (Lemma 3.7).
+			return solvable("Lemma 3.7 (via RV2 stronger than WV2)", "Protocol A").withProto(ProtoA, 0, false)
+		}
+		if Lemma33Impossible(n, k, t) {
+			return impossible("Lemma 3.3")
+		}
+		return open
+	default:
+		panic(fmt.Sprintf("theory: unknown validity %v", v))
+	}
+}
+
+// classifyMPByz encodes Figure 4 (message passing, Byzantine failures).
+// Crash impossibilities carry over: a crash fault is a legal Byzantine
+// behaviour, so an MP/CR impossibility is an MP/Byz impossibility.
+func classifyMPByz(v types.Validity, n, k, t int) Result {
+	switch v {
+	case types.SV1:
+		return impossible("Lemma 3.5 (crash impossibility carries to Byzantine)")
+	case types.SV2:
+		if l := BestEchoEll(n, k, t); l > 0 {
+			return solvable("Lemma 3.15", fmt.Sprintf("Protocol C(%d)", l)).withProto(ProtoC, l, false)
+		}
+		if Lemma36Impossible(n, k, t) {
+			return impossible("Lemma 3.6 (crash impossibility carries to Byzantine)")
+		}
+		return open
+	case types.RV1:
+		return impossible("Lemma 3.10")
+	case types.RV2:
+		// RV2 is weaker than SV2, so Protocol C(l) covers it.
+		if l := BestEchoEll(n, k, t); l > 0 {
+			return solvable("Lemma 3.15 (via SV2 stronger than RV2)", fmt.Sprintf("Protocol C(%d)", l)).withProto(ProtoC, l, false)
+		}
+		if Lemma311Impossible(n, k, t) {
+			return impossible("Lemma 3.11")
+		}
+		return open
+	case types.WV1:
+		if ProtocolDRegion(n, k, t) {
+			return solvable("Lemma 3.16", "Protocol D").withProto(ProtoD, 0, false)
+		}
+		if t >= k {
+			return impossible("Lemma 3.4 (crash impossibility carries to Byzantine)")
+		}
+		return open // the substantial gap the paper leaves for WV1
+	case types.WV2:
+		if ProtocolAByzWV2Region(n, k, t) {
+			if 2*t < n {
+				return solvable("Lemma 3.12", "Protocol A").withProto(ProtoA, 0, false)
+			}
+			return solvable("Lemma 3.13", "Protocol A").withProto(ProtoA, 0, false)
+		}
+		// WV2 is weaker than SV2: Protocol C(l) regions carry down.
+		if l := BestEchoEll(n, k, t); l > 0 {
+			return solvable("Lemma 3.15 (via SV2 stronger than WV2)", fmt.Sprintf("Protocol C(%d)", l)).withProto(ProtoC, l, false)
+		}
+		if Lemma39Impossible(n, k, t) {
+			return impossible("Lemma 3.9")
+		}
+		return open
+	default:
+		panic(fmt.Sprintf("theory: unknown validity %v", v))
+	}
+}
+
+// classifySMCR encodes Figure 5 (shared memory, crash failures).
+func classifySMCR(v types.Validity, n, k, t int) Result {
+	switch v {
+	case types.SV1:
+		return impossible("Lemma 4.2")
+	case types.SV2:
+		if ProtocolFRegion(k, t) {
+			return solvable("Lemma 4.7", "Protocol F").withProto(ProtoF, 0, false)
+		}
+		if ProtocolBRegion(n, k, t) {
+			return solvable("Lemma 4.6", "Protocol B via SIMULATION").withProto(ProtoB, 0, true)
+		}
+		if Lemma43Impossible(n, k, t) {
+			return impossible("Lemma 4.3")
+		}
+		return open
+	case types.RV1:
+		if FloodMinRegion(k, t) {
+			return solvable("Lemma 4.4", "FloodMin via SIMULATION").withProto(ProtoFloodMin, 0, true)
+		}
+		return impossible("Lemma 3.2 (holds in both crash models)")
+	case types.RV2:
+		// Lemma 4.5: Protocol E solves SC(k, t, RV2) for every k >= 2.
+		return solvable("Lemma 4.5", "Protocol E").withProto(ProtoE, 0, false)
+	case types.WV1:
+		if t < k {
+			return solvable("Lemma 4.4 (via RV1 stronger than WV1)", "FloodMin via SIMULATION").withProto(ProtoFloodMin, 0, true)
+		}
+		return impossible("Lemma 4.1")
+	case types.WV2:
+		// WV2 is weaker than RV2; Protocol E covers every k >= 2.
+		return solvable("Lemma 4.5 (via RV2 stronger than WV2)", "Protocol E").withProto(ProtoE, 0, false)
+	default:
+		panic(fmt.Sprintf("theory: unknown validity %v", v))
+	}
+}
+
+// classifySMByz encodes Figure 6 (shared memory, Byzantine failures).
+// SM/CR impossibilities carry over to SM/Byz.
+func classifySMByz(v types.Validity, n, k, t int) Result {
+	switch v {
+	case types.SV1:
+		return impossible("Lemma 4.2 (crash impossibility carries to Byzantine)")
+	case types.SV2:
+		if ProtocolFRegion(k, t) {
+			return solvable("Lemma 4.12", "Protocol F").withProto(ProtoF, 0, false)
+		}
+		if l := BestEchoEll(n, k, t); l > 0 {
+			return solvable("Lemma 4.11", fmt.Sprintf("Protocol C(%d) via SIMULATION", l)).withProto(ProtoC, l, true)
+		}
+		if Lemma43Impossible(n, k, t) {
+			return impossible("Lemma 4.3 (crash impossibility carries to Byzantine)")
+		}
+		return open
+	case types.RV1:
+		return impossible("Lemma 4.8")
+	case types.RV2:
+		if ProtocolFRegion(k, t) {
+			return solvable("Lemma 4.12 (via SV2 stronger than RV2)", "Protocol F").withProto(ProtoF, 0, false)
+		}
+		if l := BestEchoEll(n, k, t); l > 0 {
+			return solvable("Lemma 4.11 (via SV2 stronger than RV2)", fmt.Sprintf("Protocol C(%d) via SIMULATION", l)).withProto(ProtoC, l, true)
+		}
+		if Lemma49Impossible(n, k, t) {
+			return impossible("Lemma 4.9")
+		}
+		return open
+	case types.WV1:
+		if ProtocolDRegion(n, k, t) {
+			return solvable("Lemma 4.13", "Protocol D via SIMULATION").withProto(ProtoD, 0, true)
+		}
+		if t >= k {
+			return impossible("Lemma 4.1 (carries to Byzantine)")
+		}
+		return open // the substantial gap the paper leaves for WV1
+	case types.WV2:
+		// Lemma 4.10: Protocol E solves SC(k, t, WV2) for every k >= 2,
+		// for any t, even with Byzantine failures.
+		return solvable("Lemma 4.10", "Protocol E").withProto(ProtoE, 0, false)
+	default:
+		panic(fmt.Sprintf("theory: unknown validity %v", v))
+	}
+}

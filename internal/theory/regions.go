@@ -1,0 +1,101 @@
+package theory
+
+import (
+	"fmt"
+
+	"kset/internal/types"
+)
+
+// Grid is the classification of every point of one figure panel: one model,
+// one validity condition, all k in [2, n-1] and t in [1, n].
+type Grid struct {
+	Model    types.Model
+	Validity types.Validity
+	N        int
+	// Cells[ti][ki] classifies k = ki+2, t = ti+1.
+	Cells [][]Result
+}
+
+// KMin, KMax, TMin and TMax describe the axis ranges of a grid.
+func (g *Grid) KMin() int { return 2 }
+
+// KMax returns the largest k on the grid (n-1).
+func (g *Grid) KMax() int { return g.N - 1 }
+
+// TMin returns the smallest t on the grid (1).
+func (g *Grid) TMin() int { return 1 }
+
+// TMax returns the largest t on the grid (n).
+func (g *Grid) TMax() int { return g.N }
+
+// At returns the classification of point (k, t).
+func (g *Grid) At(k, t int) Result { return g.Cells[t-1][k-2] }
+
+// ComputeGrid classifies every point of one panel of Figures 2/4/5/6.
+func ComputeGrid(m types.Model, v types.Validity, n int) *Grid {
+	g := &Grid{Model: m, Validity: v, N: n}
+	g.Cells = make([][]Result, n)
+	for t := 1; t <= n; t++ {
+		row := make([]Result, n-2)
+		for k := 2; k <= n-1; k++ {
+			row[k-2] = Classify(m, v, n, k, t)
+		}
+		g.Cells[t-1] = row
+	}
+	return g
+}
+
+// Count returns the number of cells with each status.
+func (g *Grid) Count() (solvable, impossible, openCells int) {
+	for _, row := range g.Cells {
+		for _, r := range row {
+			switch r.Status {
+			case Solvable:
+				solvable++
+			case Impossible:
+				impossible++
+			case Open:
+				openCells++
+			}
+		}
+	}
+	return solvable, impossible, openCells
+}
+
+// Figure describes one of the paper's region figures: a model plus its
+// figure number in the paper.
+type Figure struct {
+	Number int
+	Model  types.Model
+}
+
+// Figures lists the four region figures of the paper in order.
+func Figures() []Figure {
+	return []Figure{
+		{Number: 2, Model: types.MPCR},
+		{Number: 4, Model: types.MPByz},
+		{Number: 5, Model: types.SMCR},
+		{Number: 6, Model: types.SMByz},
+	}
+}
+
+// FigureForModel returns the paper figure number for a model's region chart.
+func FigureForModel(m types.Model) (int, error) {
+	for _, f := range Figures() {
+		if f.Model == m {
+			return f.Number, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %v", types.ErrUnknownModel, m)
+}
+
+// ComputeFigure computes all six panels of one region figure at size n
+// (the paper draws them for n = 64), in the paper's validity order.
+func ComputeFigure(m types.Model, n int) []*Grid {
+	vs := types.AllValidities()
+	grids := make([]*Grid, 0, len(vs))
+	for _, v := range vs {
+		grids = append(grids, ComputeGrid(m, v, n))
+	}
+	return grids
+}

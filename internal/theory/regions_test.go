@@ -1,0 +1,125 @@
+package theory
+
+import (
+	"errors"
+	"testing"
+
+	"kset/internal/types"
+)
+
+func TestGridAxisAccessors(t *testing.T) {
+	g := ComputeGrid(types.MPCR, types.RV1, 10)
+	if g.KMin() != 2 || g.KMax() != 9 || g.TMin() != 1 || g.TMax() != 10 {
+		t.Errorf("axes: k [%d,%d] t [%d,%d]", g.KMin(), g.KMax(), g.TMin(), g.TMax())
+	}
+	if got := g.At(2, 1); got.Status != Solvable {
+		t.Errorf("At(2,1) = %v, want solvable", got.Status)
+	}
+	if got := g.At(2, 10); got.Status != Impossible {
+		t.Errorf("At(2,10) = %v, want impossible", got.Status)
+	}
+}
+
+func TestFiguresMapping(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 4 {
+		t.Fatalf("%d figures, want 4", len(figs))
+	}
+	want := map[types.Model]int{
+		types.MPCR: 2, types.MPByz: 4, types.SMCR: 5, types.SMByz: 6,
+	}
+	for _, f := range figs {
+		if want[f.Model] != f.Number {
+			t.Errorf("figure for %v = %d, want %d", f.Model, f.Number, want[f.Model])
+		}
+		got, err := FigureForModel(f.Model)
+		if err != nil || got != f.Number {
+			t.Errorf("FigureForModel(%v) = %d, %v", f.Model, got, err)
+		}
+	}
+	if _, err := FigureForModel(types.Model{}); !errors.Is(err, types.ErrUnknownModel) {
+		t.Errorf("unknown model error = %v", err)
+	}
+}
+
+func TestComputeFigureHasSixPanelsInOrder(t *testing.T) {
+	grids := ComputeFigure(types.SMCR, 8)
+	if len(grids) != 6 {
+		t.Fatalf("%d panels, want 6", len(grids))
+	}
+	for i, v := range types.AllValidities() {
+		if grids[i].Validity != v {
+			t.Errorf("panel %d is %v, want %v", i, grids[i].Validity, v)
+		}
+		if grids[i].Model != types.SMCR || grids[i].N != 8 {
+			t.Errorf("panel %d has wrong identity: %v n=%d", i, grids[i].Model, grids[i].N)
+		}
+	}
+}
+
+func TestStatusAndProtocolStrings(t *testing.T) {
+	if Solvable.String() != "solvable" || Impossible.String() != "impossible" || Open.String() != "open" {
+		t.Error("status strings changed")
+	}
+	if Status(99).String() == "" {
+		t.Error("unknown status should still render")
+	}
+	names := map[ProtocolID]string{
+		ProtoNone:     "",
+		ProtoFloodMin: "FloodMin",
+		ProtoA:        "Protocol A",
+		ProtoB:        "Protocol B",
+		ProtoC:        "Protocol C",
+		ProtoD:        "Protocol D",
+		ProtoE:        "Protocol E",
+		ProtoF:        "Protocol F",
+	}
+	for id, want := range names {
+		if got := id.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestClassifyBoundaryCases(t *testing.T) {
+	for _, m := range types.AllModels() {
+		for _, v := range types.AllValidities() {
+			// k >= n: trivially solvable for any t, even Byzantine, even SV1.
+			r := Classify(m, v, 8, 8, 7)
+			if r.Status != Solvable || r.Proto != ProtoTrivial {
+				t.Errorf("%v/%v k=n: %v via %v", m, v, r.Status, r.Proto)
+			}
+			if (m.Comm == types.SharedMemory) != r.ViaSimulation {
+				t.Errorf("%v/%v k=n: ViaSimulation=%v", m, v, r.ViaSimulation)
+			}
+			// t = 0: solvable for any k.
+			r = Classify(m, v, 8, 3, 0)
+			if r.Status != Solvable || r.Proto != ProtoFloodMin {
+				t.Errorf("%v/%v t=0: %v via %v", m, v, r.Status, r.Proto)
+			}
+			// k = 1, t >= 1: classical consensus, impossible.
+			r = Classify(m, v, 8, 1, 1)
+			if r.Status != Impossible {
+				t.Errorf("%v/%v k=1: %v", m, v, r.Status)
+			}
+		}
+	}
+}
+
+func TestClassifyPanicsOutsideRange(t *testing.T) {
+	cases := []struct{ n, k, t int }{
+		{1, 1, 1},  // n too small
+		{8, 0, 1},  // k too small
+		{8, 3, -1}, // t negative
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Classify(%d,%d,%d) did not panic", c.n, c.k, c.t)
+				}
+			}()
+			Classify(types.MPCR, types.RV1, c.n, c.k, c.t)
+		}()
+	}
+}

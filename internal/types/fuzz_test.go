@@ -1,0 +1,38 @@
+package types
+
+import "testing"
+
+// FuzzParseModel: the parser either returns one of the four models or an
+// error, never panics, and round-trips its own String output.
+func FuzzParseModel(f *testing.F) {
+	for _, seed := range []string{"mp/cr", "MP/Byz", "sm/cr", "sm/byz", "", "x", "mp/", "/cr", "mp/cr/extra"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseModel(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseModel(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round-trip of %q failed: %v %v", s, back, err)
+		}
+	})
+}
+
+// FuzzParseValidity mirrors FuzzParseModel for validity names.
+func FuzzParseValidity(f *testing.F) {
+	for _, seed := range []string{"sv1", "SV2", "rv1", "rv2", "wv1", "WV2", "", "sv", "sv3", "xx9"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseValidity(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseValidity(v.String())
+		if err != nil || back != v {
+			t.Fatalf("round-trip of %q failed: %v %v", s, back, err)
+		}
+	})
+}
