@@ -2,19 +2,28 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench verify figures report clean
+.PHONY: all build lint test race race-live short bench verify figures report clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Repo-specific static analysis: determinism, map-order, prng-flow, and
+# lock-discipline contracts. See docs/lint.md. Exits non-zero on findings.
+lint:
+	$(GO) run ./cmd/ksetlint
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Un-shortened race run over the live (genuinely concurrent) runtimes.
+race-live:
+	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/
 
 short:
 	$(GO) test -short ./...

@@ -1,0 +1,94 @@
+// Command ksetlint runs the repo-specific static analyzers that enforce the
+// reproduction's determinism and concurrency contracts (see docs/lint.md).
+//
+// Usage:
+//
+//	ksetlint [-C dir] [-rule prefix] [-list]
+//
+// It walks the module rooted at -C (default "."), applies every analyzer to
+// the packages in its scope, and prints findings as file:line:col lines.
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"kset/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ksetlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to lint (directory containing go.mod)")
+	rule := fs.String("rule", "", "only report findings whose rule id has this prefix (e.g. determinism, maporder.range)")
+	list := fs.Bool("list", false, "list analyzers and audited packages, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ksetlint: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	analyzers := lint.DefaultAnalyzers()
+	scopes := lint.DefaultScopes()
+	if *rule != "" && !knownRulePrefix(analyzers, *rule) {
+		fmt.Fprintf(stderr, "ksetlint: -rule %q matches no analyzer; see -list\n", *rule)
+		return 2
+	}
+	if *list {
+		names := make([]string, 0, len(analyzers))
+		for _, a := range analyzers {
+			names = append(names, a.Name())
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(stdout, "%s: %s\n", name, strings.Join(scopes[name], " "))
+		}
+		return 0
+	}
+
+	findings, err := lint.Run(*dir, analyzers, scopes)
+	if err != nil {
+		fmt.Fprintf(stderr, "ksetlint: %v\n", err)
+		return 2
+	}
+	shown := 0
+	for _, f := range findings {
+		if *rule != "" && !strings.HasPrefix(f.Rule, *rule) {
+			continue
+		}
+		fmt.Fprintln(stdout, f)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Fprintf(stdout, "ksetlint: %d finding(s)\n", shown)
+		return 1
+	}
+	return 0
+}
+
+// knownRulePrefix reports whether prefix could match a real rule id: it must
+// extend an analyzer's name, or be a prefix of one, or match the directive
+// audit rule. A typo'd -rule would otherwise silently hide every finding.
+func knownRulePrefix(analyzers []lint.Analyzer, prefix string) bool {
+	names := []string{"lint"}
+	for _, a := range analyzers {
+		names = append(names, a.Name())
+	}
+	for _, name := range names {
+		if strings.HasPrefix(prefix, name) || strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadModule runs the driver over a fixture module seeded with one
+// violation per analyzer and checks findings, order, and exit status.
+func TestBadModule(t *testing.T) {
+	var out, errs strings.Builder
+	code := run([]string{"-C", filepath.Join("testdata", "badmod")}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errs.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"internal/mplive/mplive.go:18:7: lockdiscipline.blocking",
+		"internal/mplive/mplive.go:25:2: lockdiscipline.return",
+		"internal/mpnet/mpnet.go:6:2: prngflow.import",
+		"internal/mpnet/mpnet.go:12:37: determinism.time",
+		"internal/mpnet/mpnet.go:18:2: maporder.range",
+		"ksetlint: 5 finding(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRuleFilter narrows the report to one analyzer but keeps the failing
+// exit status.
+func TestRuleFilter(t *testing.T) {
+	var out, errs strings.Builder
+	code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-rule", "lockdiscipline"}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	got := out.String()
+	if strings.Contains(got, "determinism") || strings.Contains(got, "maporder") {
+		t.Errorf("filter leaked other rules:\n%s", got)
+	}
+	if !strings.Contains(got, "ksetlint: 2 finding(s)") {
+		t.Errorf("want 2 lockdiscipline findings:\n%s", got)
+	}
+}
+
+// TestRepoTreeIsClean is the committed-tree gate: the real module must lint
+// clean, exit 0, print nothing.
+func TestRepoTreeIsClean(t *testing.T) {
+	var out, errs strings.Builder
+	code := run([]string{"-C", filepath.Join("..", "..")}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; findings:\n%s%s", code, out.String(), errs.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", out.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errs strings.Builder
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range []string{"determinism:", "maporder:", "prngflow:", "lockdiscipline:"} {
+		if !strings.Contains(out.String(), a) {
+			t.Errorf("-list missing %q:\n%s", a, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "kset/internal/mplive") {
+		t.Errorf("-list should show audited packages:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errs strings.Builder
+	if code := run([]string{"stray-arg"}, &out, &errs); code != 2 {
+		t.Errorf("stray arg: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-C", "testdata/no-such-dir"}, &out, &errs); code != 2 {
+		t.Errorf("missing dir: exit = %d, want 2", code)
+	}
+	// A typo'd filter must not silently report a clean tree.
+	if code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-rule", "nosuchrule"}, &out, &errs); code != 2 {
+		t.Errorf("unknown rule: exit = %d, want 2", code)
+	}
+}

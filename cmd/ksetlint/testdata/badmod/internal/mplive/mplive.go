@@ -1,0 +1,26 @@
+// Package mplive is a driver-test fixture: a live runtime violating lock
+// discipline. It is in scope for lockdiscipline only, so the channel use is
+// legal but the mutex handling is not.
+package mplive
+
+import "sync"
+
+// Box is a mutex-guarded mailbox.
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Put blocks on the channel while holding the mutex.
+func (b *Box) Put(v int) {
+	b.mu.Lock()
+	b.ch <- v
+	b.mu.Unlock()
+}
+
+// Peek returns with the mutex held.
+func (b *Box) Peek() int {
+	b.mu.Lock()
+	return b.n
+}

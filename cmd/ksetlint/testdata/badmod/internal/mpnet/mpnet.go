@@ -1,0 +1,22 @@
+// Package mpnet is a driver-test fixture: a simulation package violating
+// the determinism, maporder, and prngflow contracts.
+package mpnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws ambient entropy and reads the wall clock.
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(10)+time.Now().Second()) * time.Millisecond
+}
+
+// Keys leaks map iteration order into a slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

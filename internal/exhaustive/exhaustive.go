@@ -261,7 +261,9 @@ func (v *verifier) checkValidity(inputs []types.Value, fmask int, menus []map[ty
 		if fmask&(1<<p) != 0 {
 			continue // faulty processes' decisions are unconstrained
 		}
-		for d := range menus[p] {
+		// Sorted so the violation reported (when several decisions break the
+		// condition) does not depend on map iteration order.
+		for _, d := range sortedMenu(menus[p]) {
 			var bad bool
 			var why string
 			switch v.validity {
@@ -309,6 +311,18 @@ func (v *verifier) fail(verdict *Verdict, condition string, inputs []types.Value
 	}
 }
 
+// sortedMenu returns the decisions in a menu in increasing order, so
+// callers can iterate deterministically.
+func sortedMenu(menu map[types.Value]struct{}) []types.Value {
+	out := make([]types.Value, 0, len(menu))
+	//ksetlint:allow maporder.range keys are sorted immediately below
+	for d := range menu {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // maxDistinct computes the maximum number of distinct values simultaneously
 // choosable, one per non-nil menu: a maximum bipartite matching between
 // values and processes (each value needs one distinct process that can
@@ -316,11 +330,16 @@ func (v *verifier) fail(verdict *Verdict, condition string, inputs []types.Value
 func maxDistinct(menus []map[types.Value]struct{}) int {
 	values := make(map[types.Value][]int)
 	for p, menu := range menus {
+		// Exactly one append per (value, process) pair and the outer loop is
+		// slice-ordered, so values[d] comes out sorted by p regardless of map
+		// iteration order.
+		//ksetlint:allow maporder.range one write per distinct key; result is order-independent
 		for d := range menu {
 			values[d] = append(values[d], p)
 		}
 	}
 	ordered := make([]types.Value, 0, len(values))
+	//ksetlint:allow maporder.range keys are sorted immediately below
 	for d := range values {
 		ordered = append(ordered, d)
 	}

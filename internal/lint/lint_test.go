@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bufio"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks one or more fixture files as a single
+// package with the given import path. Standard-library imports resolve from
+// toolchain source; anything else degrades to a stub, exactly as in Load.
+func loadFixture(t *testing.T, importPath string, files ...string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := parseFiles(fset, importPath, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newChecker(fset, map[string]*Package{importPath: pkg}).check(pkg)
+	return pkg
+}
+
+func parseFiles(fset *token.FileSet, importPath string, files []string) (*Package, error) {
+	pkg := &Package{Path: importPath, Fset: fset}
+	for _, f := range files {
+		parsed, err := parseOne(fset, f)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, parsed)
+	}
+	return pkg, nil
+}
+
+// wantComments collects the `// want rule1 rule2` expectations per
+// file:line from the fixture sources.
+func wantComments(t *testing.T, files ...string) map[string][]string {
+	t.Helper()
+	want := make(map[string][]string)
+	for _, file := range files {
+		fh, err := os.Open(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(fh)
+		for line := 1; sc.Scan(); line++ {
+			// `// want r1 r2` expects findings on its own line;
+			// `// want-above r1` expects them one line up (for lines that
+			// cannot carry a second comment, like directives under test).
+			if _, marker, ok := strings.Cut(sc.Text(), "// want-above "); ok {
+				key := keyAt(file, line-1)
+				want[key] = append(want[key], strings.Fields(marker)...)
+				continue
+			}
+			if _, marker, ok := strings.Cut(sc.Text(), "// want "); ok {
+				key := keyAt(file, line)
+				want[key] = append(want[key], strings.Fields(marker)...)
+			}
+		}
+		fh.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+func keyAt(file string, line int) string {
+	return filepath.Base(file) + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// checkFixture runs one analyzer over the fixture files, applies allow
+// directives the same way Run does, and compares the surviving findings
+// against the // want comments line by line.
+func checkFixture(t *testing.T, a Analyzer, importPath string, files ...string) {
+	t.Helper()
+	for i, f := range files {
+		files[i] = filepath.Join("testdata", a.Name(), f)
+	}
+	pkg := loadFixture(t, importPath, files...)
+	allows := collectAllows(pkg)
+
+	got := make(map[string][]string)
+	for _, f := range a.Check(pkg) {
+		if allows.suppresses(f) {
+			continue
+		}
+		key := keyAt(f.Pos.Filename, f.Pos.Line)
+		got[key] = append(got[key], f.Rule)
+		t.Logf("finding: %s", f)
+	}
+	for _, f := range allows.malformed {
+		key := keyAt(f.Pos.Filename, f.Pos.Line)
+		got[key] = append(got[key], f.Rule)
+	}
+	for _, f := range allows.unused() {
+		key := keyAt(f.Pos.Filename, f.Pos.Line)
+		got[key] = append(got[key], f.Rule)
+	}
+
+	want := wantComments(t, files...)
+	for key, rules := range want {
+		if !sameRules(got[key], rules) {
+			t.Errorf("%s: got findings %v, want %v", key, got[key], rules)
+		}
+	}
+	for key, rules := range got {
+		if _, expected := want[key]; !expected {
+			t.Errorf("%s: unexpected findings %v", key, rules)
+		}
+	}
+}
+
+func sameRules(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	g := append([]string(nil), got...)
+	w := append([]string(nil), want...)
+	sortStrings(g)
+	sortStrings(w)
+	for i := range g {
+		if g[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeterminism(t *testing.T) {
+	checkFixture(t, NewDeterminism(), "kset/internal/fixture",
+		"bad.go", "allowed.go")
+}
+
+func TestMapOrder(t *testing.T) {
+	checkFixture(t, NewMapOrder(), "kset/internal/fixture", "fixture.go")
+}
+
+func TestPrngFlow(t *testing.T) {
+	a := NewPrngFlow()
+	a.PrngPath = "kset/internal/fixture"
+	checkFixture(t, a, "kset/internal/fixture", "fixture.go")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	checkFixture(t, NewLockDiscipline(), "kset/internal/fixture", "fixture.go")
+}
+
+func TestInScope(t *testing.T) {
+	prefixes := []string{"kset/internal/mpnet", "kset/internal/protocols"}
+	for path, want := range map[string]bool{
+		"kset/internal/mpnet":        true,
+		"kset/internal/mpnet/sub":    true,
+		"kset/internal/mpnetx":       false,
+		"kset/internal/protocols/mp": true,
+		"kset/internal/mplive":       false,
+	} {
+		if got := InScope(path, prefixes); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over this module: the committed tree
+// must be free of findings, so every contract violation that slips in turns
+// the ordinary test run red, not just make lint.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := Run(filepath.Join("..", ".."), DefaultAnalyzers(), DefaultScopes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// PrngFlow enforces that all randomness in simulation code flows through
+// internal/prng, seeded only from deterministic inputs. Rule ids:
+//
+//   - prngflow.import: imports of math/rand, math/rand/v2, or crypto/rand.
+//     math/rand's stream is not stable across Go releases and crypto/rand
+//     is real entropy; both break replay-from-seed.
+//   - prngflow.seed: a prng.New call whose seed expression involves a
+//     function call that is neither a type conversion nor a draw from
+//     another prng.Source. Seeds must derive from parameters, constants,
+//     and prior deterministic draws — never from clocks, counters, or
+//     ambient state.
+type PrngFlow struct {
+	// PrngPath is the import path of the blessed generator package.
+	// Tests point it at fixture packages.
+	PrngPath string
+}
+
+// NewPrngFlow returns the prngflow analyzer for kset/internal/prng.
+func NewPrngFlow() *PrngFlow { return &PrngFlow{PrngPath: "kset/internal/prng"} }
+
+// Name implements Analyzer.
+func (*PrngFlow) Name() string { return "prngflow" }
+
+// forbiddenEntropy maps forbidden entropy imports to the reason shown.
+var forbiddenEntropy = map[string]string{
+	"math/rand":    "stream is not stable across Go releases",
+	"math/rand/v2": "stream is outside the seed contract",
+	"crypto/rand":  "real entropy is unreproducible by construction",
+}
+
+// Check implements Analyzer. The generator package itself is the one place
+// entropy is defined; it stays out of the audit via the scope list, not
+// here, so fixtures can play both roles.
+func (p *PrngFlow) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		names := importNames(file)
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenEntropy[path]; bad {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(imp.Pos()),
+					Rule: "prngflow.import",
+					Msg:  fmt.Sprintf("import of %q: %s; use kset/internal/prng", path, why),
+				})
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.isPrngNew(pkg, names, call) || len(call.Args) != 1 {
+				return true
+			}
+			if bad := p.badSeedCall(pkg, call.Args[0]); bad != nil {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(bad.Pos()),
+					Rule: "prngflow.seed",
+					Msg: fmt.Sprintf("prng.New seed calls %s: seeds must be parameters, constants, or prng draws",
+						types.ExprString(bad.Fun)),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isPrngNew reports whether call invokes New from the blessed package,
+// whether qualified (prng.New(...)) or direct (fixtures compile the
+// analyzer's target package themselves).
+func (p *PrngFlow) isPrngNew(pkg *Package, names map[string]string, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "New" && pkgOfSelector(pkg, names, fun) == p.PrngPath
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn.Name() == "New" && fn.Pkg() != nil && fn.Pkg().Path() == p.PrngPath
+		}
+	}
+	return false
+}
+
+// badSeedCall returns the first call inside the seed expression that is not
+// a type conversion and not a method on a prng.Source, or nil if the seed
+// is clean.
+func (p *PrngFlow) badSeedCall(pkg *Package, seed ast.Expr) *ast.CallExpr {
+	var bad *ast.CallExpr
+	ast.Inspect(seed, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isTypeConversion(pkg, call) {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if namedPkgPath(typeOf(pkg, sel.X)) == p.PrngPath {
+				return true // e.g. rng.Uint64(): deterministic re-seeding
+			}
+		}
+		bad = call
+		return false
+	})
+	return bad
+}

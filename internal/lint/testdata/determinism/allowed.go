@@ -1,0 +1,30 @@
+// This file exercises the file-level escape hatch: a turn-based runtime may
+// use channels for its handoff protocol, documented once for the file.
+//
+//ksetlint:file-allow determinism.chan turn-based handoff channels; one goroutine runnable at a time
+
+package fixture
+
+// handoff uses channels throughout; the file-allow covers every hit.
+func handoff() int {
+	ch := make(chan int, 1)
+	ch <- 41
+	v := <-ch
+	close(ch)
+	return v + 1
+}
+
+// A directive without a reason is itself a finding: silent waivers defeat
+// the point of the allowlist.
+func reasonless() {
+	//ksetlint:allow determinism.goroutine
+	// want-above lint.allow
+	_ = handoff()
+}
+
+// A directive that suppresses nothing must be deleted, not accumulated.
+func stale() {
+	//ksetlint:allow maporder.range this loop was rewritten long ago
+	// want-above lint.allow
+	_ = handoff()
+}

@@ -1,0 +1,50 @@
+// Package fixture exercises the determinism analyzer: every construct the
+// simulation contract forbids, plus the patterns that stay legal.
+package fixture
+
+import (
+	"sync" // want determinism.sync
+	"time"
+)
+
+// tick is a time.Duration: pure value arithmetic on durations is fine.
+const tick = 10 * time.Millisecond
+
+func wallClock() time.Duration {
+	start := time.Now()      // want determinism.time
+	time.Sleep(tick)         // want determinism.time
+	_ = time.Tick(tick)      // want determinism.time
+	return time.Since(start) // want determinism.time
+}
+
+func concurrency() {
+	var mu sync.Mutex // the import itself was flagged; uses are not re-flagged
+	mu.Lock()
+	mu.Unlock()
+
+	go wallClock() // want determinism.goroutine
+
+	ch := make(chan int, 1) // want determinism.chan
+	ch <- 1                 // want determinism.chan
+	<-ch                    // want determinism.chan
+	close(ch)               // want determinism.chan
+
+	select { // want determinism.chan
+	default:
+	}
+}
+
+// allowedClock shows the line-level escape hatch: the timing is documented,
+// not silent.
+func allowedClock() time.Time {
+	return time.Now() //ksetlint:allow determinism.time wall-clock banner in a report; results never read it
+}
+
+// pureLoop shows that ordinary deterministic code produces no findings.
+func pureLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

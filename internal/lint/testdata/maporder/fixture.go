@@ -1,0 +1,77 @@
+// Package fixture exercises the maporder analyzer: effectful map ranges are
+// flagged, order-insensitive folds and the collect-sort idiom are not.
+package fixture
+
+import "sort"
+
+type trace struct{ lines []string }
+
+func (t *trace) emit(s string) { t.lines = append(t.lines, s) }
+
+// appendInOrder leaks map order into a slice.
+func appendInOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder.range
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// callInOrder leaks map order into a trace.
+func callInOrder(m map[string]int, tr *trace) {
+	for k := range m { // want maporder.range
+		tr.emit(k)
+	}
+}
+
+// writeThrough leaks map order into shared indexed state.
+func writeThrough(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m { // want maporder.range
+		out[i] = v
+		i++
+	}
+}
+
+// earlyReturn leaks map order through which entry wins the return.
+func earlyReturn(m map[int]int) int {
+	for k, v := range m { // want maporder.range
+		if v > 10 {
+			return k
+		}
+	}
+	return -1
+}
+
+// pureFolds are order-insensitive: counting, summing, max-tracking.
+func pureFolds(m map[string]int) (int, int) {
+	count, maxv := 0, 0
+	for _, v := range m {
+		count++
+		if v > maxv {
+			maxv = v
+		}
+	}
+	return count, maxv
+}
+
+// collectThenSort is the blessed idiom: the collection loop documents
+// itself with a directive and the sort restores determinism.
+func collectThenSort(m map[string]int, tr *trace) {
+	keys := make([]string, 0, len(m))
+	//ksetlint:allow maporder.range keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tr.emit(k)
+	}
+}
+
+// sliceRange is not a map: never flagged, effects or not.
+func sliceRange(xs []string, tr *trace) {
+	for _, x := range xs {
+		tr.emit(x)
+	}
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the prngflow analyzer. The test points the
+// analyzer's PrngPath at this package, so the local Source/New stand in for
+// kset/internal/prng.
+package fixture
+
+import (
+	"math/rand" // want prngflow.import
+	"time"
+)
+
+// Source mimics prng.Source: a deterministic generator.
+type Source struct{ state uint64 }
+
+// New mimics prng.New.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 mimics a deterministic draw.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+type config struct{ Seed uint64 }
+
+func good(cfg config, i int) *Source {
+	a := New(cfg.Seed)         // parameter: fine
+	b := New(cfg.Seed + 1)     // arithmetic on parameters: fine
+	c := New(uint64(i)*31 + 7) // conversion of a parameter: fine
+	d := New(a.Uint64())       // reseeding from a deterministic draw: fine
+	_, _, _ = b, c, d
+	return a
+}
+
+func bad() *Source {
+	x := New(uint64(time.Now().UnixNano())) // want prngflow.seed
+	y := New(rand.Uint64())                 // want prngflow.seed
+	return both(x, y)
+}
+
+func both(x, y *Source) *Source {
+	if x.Uint64()&1 == 0 {
+		return x
+	}
+	return y
+}

@@ -179,10 +179,18 @@ func validate(cfg *Config) error {
 		return fmt.Errorf("%w: %d Byzantine processes exceed t=%d",
 			ErrFaultBudget, len(cfg.Byzantine), cfg.T)
 	}
+	// Report the smallest offending id so the error is independent of map
+	// iteration order.
+	bad, found := types.ProcessID(0), false
 	for id := range cfg.Byzantine {
 		if int(id) < 0 || int(id) >= cfg.N {
-			return fmt.Errorf("%w: Byzantine id %d out of range", ErrBadConfig, id)
+			if !found || id < bad {
+				bad, found = id, true
+			}
 		}
+	}
+	if found {
+		return fmt.Errorf("%w: Byzantine id %d out of range", ErrBadConfig, bad)
 	}
 	return nil
 }

@@ -75,6 +75,7 @@ func (ChannelFIFO) Next(view *View, inflight []Envelope, rng *prng.Source) int {
 	}
 	// Deterministic choice among channels: order by (from, to).
 	chans := make([]channel, 0, len(oldest))
+	//ksetlint:allow maporder.range keys are sorted immediately below
 	for ch := range oldest {
 		chans = append(chans, ch)
 	}

@@ -61,6 +61,9 @@ func (f *firstPerSender) countValue(v types.Value) int {
 func (f *firstPerSender) allEqual() (types.Value, bool) {
 	var v types.Value
 	first := true
+	// Order-insensitive fold: a value is returned only when every entry
+	// carries it, so the result cannot depend on iteration order.
+	//ksetlint:allow maporder.range returns a value only if all entries are equal
 	for _, got := range f.seen {
 		if first {
 			v, first = got, false

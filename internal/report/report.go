@@ -55,7 +55,7 @@ func (c *Config) defaults() {
 // Run executes the evaluation and writes the markdown report.
 func Run(w io.Writer, cfg Config) error {
 	cfg.defaults()
-	start := time.Now()
+	start := time.Now() //ksetlint:allow determinism.time wall-clock banner only; no result depends on it
 	fmt.Fprintf(w, "# k-set consensus reproduction report\n\n")
 	fmt.Fprintf(w, "Parameters: sweeps at n=%d (%d runs x %d cells per panel), region tables at n=%d, seed %d.\n\n",
 		cfg.N, cfg.Runs, cfg.Samples, cfg.GridN, cfg.Seed)
@@ -74,6 +74,7 @@ func Run(w io.Writer, cfg Config) error {
 	writeGapProbes(w)
 	writeLatency(w, cfg)
 
+	//ksetlint:allow determinism.time wall-clock banner only; no result depends on it
 	fmt.Fprintf(w, "\nGenerated in %v.\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -1,3 +1,15 @@
+// The runtime below uses goroutines, channels, and one mutex even though
+// smmem is a *deterministic* simulator: exactly one process goroutine
+// executes at any moment (the scheduler grants one operation at a time and
+// waits for every live goroutine to block again before the next grant), so
+// the schedule — and therefore the run — is still a pure function of the
+// seed. The race detector validates the handoff protocol; the seed-stability
+// test validates the determinism claim end to end.
+//
+//ksetlint:file-allow determinism.sync one mutex guards the first-error slot; written only at handoff points
+//ksetlint:file-allow determinism.chan request/reply channels are the turn-based handoff, not free-running communication
+//ksetlint:file-allow determinism.goroutine one goroutine per process, but strictly turn-based: never two runnable at once
+
 package smmem
 
 import (
@@ -236,10 +248,18 @@ func validate(cfg *Config) error {
 		return fmt.Errorf("%w: %d Byzantine processes exceed t=%d",
 			ErrFaultBudget, len(cfg.Byzantine), cfg.T)
 	}
+	// Report the smallest offending id so the error is independent of map
+	// iteration order.
+	bad, found := types.ProcessID(0), false
 	for id := range cfg.Byzantine {
 		if int(id) < 0 || int(id) >= cfg.N {
-			return fmt.Errorf("%w: Byzantine id %d out of range", ErrBadConfig, id)
+			if !found || id < bad {
+				bad, found = id, true
+			}
 		}
+	}
+	if found {
+		return fmt.Errorf("%w: Byzantine id %d out of range", ErrBadConfig, bad)
 	}
 	return nil
 }
@@ -371,6 +391,9 @@ func (rt *smRuntime) run() {
 	}
 
 	haltAll := func() {
+		// Halt replies commute: every pending goroutine unwinds without
+		// touching shared state, so wakeup order cannot affect the run.
+		//ksetlint:allow maporder.range halt replies commute; all goroutines just unwind
 		for pid, req := range pending {
 			delete(pending, pid)
 			req.reply <- reply{halt: true}
@@ -409,6 +432,7 @@ func (rt *smRuntime) run() {
 		}
 
 		ids := make([]types.ProcessID, 0, len(pending))
+		//ksetlint:allow maporder.range ids are sorted by sortIDs immediately below
 		for pid := range pending {
 			ids = append(ids, pid)
 		}

@@ -27,6 +27,7 @@ var directlyWeaker = map[types.Validity][]types.Validity{
 // the conditions directly weaker than D.
 func WeakerEdges() map[types.Validity][]types.Validity {
 	out := make(map[types.Validity][]types.Validity, len(directlyWeaker))
+	//ksetlint:allow maporder.range one write per distinct key; the copied map is order-independent
 	for d, cs := range directlyWeaker {
 		out[d] = append([]types.Validity(nil), cs...)
 	}
