@@ -1,8 +1,18 @@
 # Convenience targets for the k-set consensus reproduction.
+#
+#   make all      - build + lint + test
+#   make bench    - benchstat-friendly benchmark run (BENCH_COUNT repeats,
+#                   BENCH_PATTERN filter); see docs/perf.md and BENCH_sweep.json
+#   make verify   - empirical validation of the figures (ksetverify)
 
 GO ?= go
 
-.PHONY: all build lint test race race-live short bench verify figures report clean
+# benchstat wants several repetitions of each benchmark to compute variance:
+#   make bench BENCH_COUNT=10 > new.txt && benchstat old.txt new.txt
+BENCH_COUNT ?= 6
+BENCH_PATTERN ?= .
+
+.PHONY: all build lint test race race-live short bench bench-sweep verify figures report clean
 
 all: build lint test
 
@@ -21,15 +31,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Un-shortened race run over the live (genuinely concurrent) runtimes.
+# Un-shortened race run over the live (genuinely concurrent) runtimes and
+# the sweep engine (the worker pool behind -workers).
 race-live:
-	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/
+	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/ ./internal/sweep/
 
 short:
 	$(GO) test -short ./...
 
+# Benchstat-friendly: -count repetitions, no unit tests, fixed benchtime.
+# Compare against a baseline with:
+#   make bench > new.txt && benchstat baseline.txt new.txt
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) ./...
+
+# The benchmarks tracked in BENCH_sweep.json (hot-path + sweep engine).
+bench-sweep:
+	$(GO) test -run XXX -bench 'BenchmarkFig2RegionsMPCR|BenchmarkFig4RegionsMPByz|BenchmarkFig5RegionsSMCR|BenchmarkFig6RegionsSMByz|BenchmarkRunFloodMin|BenchmarkRunProtocolE/n=16|BenchmarkSolveEndToEnd|BenchmarkValidateCell|BenchmarkReportRun' -benchmem -count=$(BENCH_COUNT) .
+	$(GO) test -run XXX -bench BenchmarkSweepWorkers -benchmem -count=$(BENCH_COUNT) ./internal/sweep/
 
 # Empirical validation of every figure panel plus the impossibility
 # constructions (quick sizes; raise -n/-runs to go deeper).

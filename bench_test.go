@@ -16,14 +16,17 @@ package kset_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
 	"kset"
+	"kset/internal/harness"
 	"kset/internal/mplive"
 	"kset/internal/mpnet"
 	"kset/internal/protocols/mp"
 	"kset/internal/protocols/sm"
+	"kset/internal/report"
 	"kset/internal/smlive"
 	"kset/internal/smmem"
 	"kset/internal/theory"
@@ -314,6 +317,36 @@ func BenchmarkSolveEndToEnd(b *testing.B) {
 			Seed:   uint64(i) + 1,
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidateCell measures one empirical cell validation — the unit of
+// work ksetverify and ksetreport fan out across the sweep engine: classify
+// the cell, instantiate the witness protocol and sweep randomized
+// adversarial scenarios through the checker.
+func BenchmarkValidateCell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := harness.ValidateCell(types.MPCR, types.RV1, 16, 8, 7, 8, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sum.OK() {
+			b.Fatalf("validation failed: %s", sum)
+		}
+	}
+}
+
+// BenchmarkReportRun measures the full evaluation pipeline at a small
+// configuration: grids, validation sweeps, constructions, halting,
+// tightness, exhaustive rederivation and latency profiling.
+func BenchmarkReportRun(b *testing.B) {
+	cfg := report.Config{N: 8, Runs: 4, Samples: 1, Seed: 3, GridN: 16, Workers: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := report.Run(io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"kset/internal/ascii"
+	"kset/internal/sweep"
 	"kset/internal/theory"
 	"kset/internal/types"
 )
@@ -42,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		boundaries = fs.Bool("boundaries", false, "emit per-k numeric boundary tables instead of charts")
 		diff       = fs.String("diff", "", `compare two models on one validity, e.g. "mp/cr:sm/cr" (requires -validity)`)
 		openCells  = fs.Bool("open", false, "list the open-problem cells of each panel instead of charts")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker threads for grid classification (output is identical for any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,16 +80,36 @@ func run(args []string, out io.Writer) error {
 		validities = []types.Validity{v}
 	}
 
-	for _, m := range models {
+	// Classify each model's panels as an independent job (all six panels of a
+	// figure share one classifier pass), then render sequentially in model
+	// order — the output never depends on the worker count.
+	type modelJob struct {
+		fig   int
+		grids []*theory.Grid
+	}
+	jobs := make([]modelJob, len(models))
+	for i, m := range models {
 		fig, err := theory.FigureForModel(m)
 		if err != nil {
 			return err
 		}
-		if !*csv {
-			fmt.Fprintf(out, "Figure %d: %s model, n=%d processes\n\n", fig, m, *n)
+		jobs[i].fig = fig
+	}
+	sweep.NewPool(*workers).Map(len(models), func(i int) {
+		if len(validities) == len(types.AllValidities()) {
+			jobs[i].grids = theory.ComputeFigure(models[i], *n)
+			return
 		}
 		for _, v := range validities {
-			g := theory.ComputeGrid(m, v, *n)
+			jobs[i].grids = append(jobs[i].grids, theory.ComputeGrid(models[i], v, *n))
+		}
+	})
+
+	for i, m := range models {
+		if !*csv {
+			fmt.Fprintf(out, "Figure %d: %s model, n=%d processes\n\n", jobs[i].fig, m, *n)
+		}
+		for _, g := range jobs[i].grids {
 			switch {
 			case *csv:
 				if err := ascii.WriteGridCSV(out, g); err != nil {

@@ -9,6 +9,11 @@
 //	ksetverify -fig all -n 10 -runs 24          # quick pass, all figures
 //	ksetverify -fig 2 -n 64 -runs 32 -samples 6 # Figure 2 at the paper's n
 //	ksetverify -constructions                    # counterexample demos only
+//	ksetverify -fig all -workers 8               # fan runs across 8 workers
+//
+// Sweeps fan out across -workers OS threads (default: GOMAXPROCS). Seeds are
+// pre-drawn and results merged in canonical order, so the output is
+// byte-identical for every worker count.
 //
 // The summary printed at the end is the data recorded in EXPERIMENTS.md.
 package main
@@ -18,12 +23,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"kset/internal/adversary"
 	"kset/internal/harness"
 	"kset/internal/prng"
+	"kset/internal/sweep"
 	"kset/internal/theory"
-	"kset/internal/types"
 )
 
 func main() {
@@ -43,13 +49,15 @@ func run(args []string, out io.Writer) error {
 		samples       = fs.Int("samples", 5, "solvable cells sampled per panel")
 		seed          = fs.Uint64("seed", 1, "sweep seed")
 		constructions = fs.Bool("constructions", false, "run only the impossibility constructions")
+		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "worker threads for sweeps (output is identical for any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	exec := executorFor(*workers)
 
 	if *constructions {
-		return runConstructions(out, *n)
+		return runConstructions(out, *n, exec)
 	}
 
 	var figures []theory.Figure
@@ -65,8 +73,9 @@ func run(args []string, out io.Writer) error {
 	failures := 0
 	for _, f := range figures {
 		fmt.Fprintf(out, "=== Figure %d (%s, n=%d) ===\n", f.Number, f.Model, *n)
-		for _, v := range types.AllValidities() {
-			failures += validatePanel(out, f.Model, v, *n, *runs, *samples, *seed)
+		// One shared classifier pass covers all six validity panels.
+		for _, g := range theory.ComputeFigure(f.Model, *n) {
+			failures += validatePanel(out, g, *runs, *samples, *seed, exec)
 		}
 		fmt.Fprintln(out)
 	}
@@ -77,35 +86,61 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// validatePanel samples solvable cells of one panel and sweeps each.
-func validatePanel(out io.Writer, m types.Model, v types.Validity, n, runs, samples int, seed uint64) int {
-	g := theory.ComputeGrid(m, v, n)
+// executorFor builds the sweep executor for a worker count; one worker means
+// serial execution on the calling goroutine.
+func executorFor(workers int) harness.Executor {
+	if workers == 1 {
+		return nil
+	}
+	return sweep.NewPool(workers).Map
+}
+
+// validatePanel samples solvable cells of one already-classified panel and
+// sweeps each. The flow is plan (draw every sampled cell and its sweep seed
+// in canonical order), execute (fan cell sweeps across the executor), render
+// (print results in plan order) — so the output never depends on worker
+// count.
+func validatePanel(out io.Writer, g *theory.Grid, runs, samples int, seed uint64, exec harness.Executor) int {
+	n := g.N
 	s, i, o := g.Count()
-	fmt.Fprintf(out, "%-4s panel: %4d solvable / %4d impossible / %3d open cells\n", v, s, i, o)
+	fmt.Fprintf(out, "%-4s panel: %4d solvable / %4d impossible / %3d open cells\n", g.Validity, s, i, o)
 	if s == 0 {
 		return 0
 	}
 
-	// Collect solvable cells and sample them deterministically.
-	type point struct{ k, t int }
-	var cells []point
-	for k := g.KMin(); k <= g.KMax(); k++ {
-		for t := g.TMin(); t <= g.TMax(); t++ {
-			if g.At(k, t).Status == theory.Solvable {
-				cells = append(cells, point{k, t})
-			}
-		}
-	}
-	rng := prng.New(seed + uint64(n)*1000 + uint64(v))
+	cells := g.SolvableCells()
+	rng := prng.New(seed + uint64(n)*1000 + uint64(g.Validity))
 	if samples > len(cells) {
 		samples = len(cells)
 	}
+	type cellJob struct {
+		c    theory.CellPoint
+		seed uint64
+		sum  *harness.Summary
+		err  error
+	}
+	jobs := make([]cellJob, samples)
+	for j, idx := range rng.Perm(len(cells))[:samples] {
+		jobs[j] = cellJob{c: cells[idx], seed: rng.Uint64()}
+	}
+	validate := func(j int) {
+		jb := &jobs[j]
+		jb.sum, jb.err = harness.ValidateCellExec(g.Model, g.Validity, n, jb.c.K, jb.c.T, runs, jb.seed, exec)
+	}
+	if exec == nil {
+		for j := range jobs {
+			validate(j)
+		}
+	} else {
+		exec(len(jobs), validate)
+	}
+
 	failures := 0
-	for _, idx := range rng.Perm(len(cells))[:samples] {
-		c := cells[idx]
-		sum, err := harness.ValidateCell(m, v, n, c.k, c.t, runs, rng.Uint64())
-		if err != nil {
-			fmt.Fprintf(out, "     cell k=%-3d t=%-3d ERROR: %v\n", c.k, c.t, err)
+	for j := range jobs {
+		jb := &jobs[j]
+		c, sum := jb.c, jb.sum
+		if jb.err != nil {
+			fmt.Fprintf(out, "     cell k=%-3d t=%-3d ERROR: %v\n", c.K, c.T, jb.err)
 			failures++
 			continue
 		}
@@ -115,7 +150,7 @@ func validatePanel(out io.Writer, m types.Model, v types.Validity, n, runs, samp
 			failures++
 		}
 		fmt.Fprintf(out, "     cell k=%-3d t=%-3d via %-32s %d runs %s\n",
-			c.k, c.t, g.At(c.k, c.t).Protocol, sum.Runs, status)
+			c.K, c.T, g.At(c.K, c.T).Protocol, sum.Runs, status)
 		if !sum.OK() {
 			for _, viol := range sum.Violations {
 				fmt.Fprintf(out, "       violation: %v\n", viol.Err)
@@ -129,9 +164,21 @@ func validatePanel(out io.Writer, m types.Model, v types.Validity, n, runs, samp
 }
 
 // runConstructions executes each scripted counterexample at a representative
-// point and reports the exhibited violation.
-func runConstructions(out io.Writer, n int) error {
+// point and reports the exhibited violation. Constructions are built
+// sequentially (each builder returns a fresh instance, so distinct
+// constructions are independent jobs), executed across the executor, and
+// reported in build order.
+func runConstructions(out io.Writer, n int, exec harness.Executor) error {
 	fmt.Fprintf(out, "impossibility constructions at n=%d:\n\n", n)
+	type consJob struct {
+		skip                string // non-empty: builder declined; print and move on
+		name, lemma, expect string
+		run                 func() (*harness.RunOutcome, error)
+		result              *harness.RunOutcome
+		err                 error
+	}
+	var jobs []consJob
+
 	type mpCase struct {
 		build func(n, k, t int) (*adversary.MPConstruction, error)
 		k, t  int
@@ -146,23 +193,23 @@ func runConstructions(out io.Writer, n int) error {
 		{adversary.Lemma310FloodMin, 2, 1},
 	}
 	if cons, err := adversary.BoundaryProtocolA(n, 2); err != nil {
-		fmt.Fprintf(out, "  (boundary probe skipped: %v)\n", err)
-	} else if result, err := harness.RunConstruction(cons, 8); err != nil {
-		return err
+		jobs = append(jobs, consJob{skip: fmt.Sprintf("  (boundary probe skipped: %v)\n", err)})
 	} else {
-		reportOutcome(out, cons.Name, cons.Lemma, cons.Expect, result)
+		jobs = append(jobs, consJob{
+			name: cons.Name, lemma: cons.Lemma, expect: cons.Expect,
+			run: func() (*harness.RunOutcome, error) { return harness.RunConstruction(cons, 8) },
+		})
 	}
 	for _, c := range mpCases {
 		cons, err := c.build(n, c.k, c.t)
 		if err != nil {
-			fmt.Fprintf(out, "  (skipped at k=%d t=%d: %v)\n", c.k, c.t, err)
+			jobs = append(jobs, consJob{skip: fmt.Sprintf("  (skipped at k=%d t=%d: %v)\n", c.k, c.t, err)})
 			continue
 		}
-		result, err := harness.RunConstruction(cons, 8)
-		if err != nil {
-			return err
-		}
-		reportOutcome(out, cons.Name, cons.Lemma, cons.Expect, result)
+		jobs = append(jobs, consJob{
+			name: cons.Name, lemma: cons.Lemma, expect: cons.Expect,
+			run: func() (*harness.RunOutcome, error) { return harness.RunConstruction(cons, 8) },
+		})
 	}
 
 	smBuilders := []struct {
@@ -175,14 +222,39 @@ func runConstructions(out io.Writer, n int) error {
 	for _, c := range smBuilders {
 		cons, err := c.build(n, c.k, c.t)
 		if err != nil {
-			fmt.Fprintf(out, "  (skipped at k=%d t=%d: %v)\n", c.k, c.t, err)
+			jobs = append(jobs, consJob{skip: fmt.Sprintf("  (skipped at k=%d t=%d: %v)\n", c.k, c.t, err)})
 			continue
 		}
-		result, err := harness.RunSMConstruction(cons, 8)
-		if err != nil {
-			return err
+		jobs = append(jobs, consJob{
+			name: cons.Name, lemma: cons.Lemma, expect: cons.Expect,
+			run: func() (*harness.RunOutcome, error) { return harness.RunSMConstruction(cons, 8) },
+		})
+	}
+
+	runJob := func(j int) {
+		jb := &jobs[j]
+		if jb.run != nil {
+			jb.result, jb.err = jb.run()
 		}
-		reportOutcome(out, cons.Name, cons.Lemma, cons.Expect, result)
+	}
+	if exec == nil {
+		for j := range jobs {
+			runJob(j)
+		}
+	} else {
+		exec(len(jobs), runJob)
+	}
+
+	for j := range jobs {
+		jb := &jobs[j]
+		if jb.skip != "" {
+			fmt.Fprint(out, jb.skip)
+			continue
+		}
+		if jb.err != nil {
+			return jb.err
+		}
+		reportOutcome(out, jb.name, jb.lemma, jb.expect, jb.result)
 	}
 	return nil
 }

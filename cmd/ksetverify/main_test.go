@@ -45,6 +45,31 @@ func TestVerifyConstructions(t *testing.T) {
 	}
 }
 
+// TestWorkersDeterminism is the parallel-sweep regression gate: the full
+// ksetverify output must be byte-identical whether runs execute serially or
+// fan out across 8 workers.
+func TestWorkersDeterminism(t *testing.T) {
+	outputFor := func(args ...string) string {
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatalf("run(%v): %v\n%s", args, err, b.String())
+		}
+		return b.String()
+	}
+
+	serial := outputFor("-fig", "2", "-n", "8", "-runs", "6", "-samples", "2", "-seed", "3", "-workers", "1")
+	parallel := outputFor("-fig", "2", "-n", "8", "-runs", "6", "-samples", "2", "-seed", "3", "-workers", "8")
+	if serial != parallel {
+		t.Errorf("figure output differs between -workers 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+
+	serialCons := outputFor("-constructions", "-n", "9", "-workers", "1")
+	parallelCons := outputFor("-constructions", "-n", "9", "-workers", "8")
+	if serialCons != parallelCons {
+		t.Errorf("construction output differs between -workers 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serialCons, parallelCons)
+	}
+}
+
 func TestVerifyUnknownFigure(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-fig", "7"}, &b); err == nil {

@@ -14,6 +14,39 @@ import (
 	"kset/internal/types"
 )
 
+// Executor fans out independent jobs 0..jobs-1, each run exactly once, and
+// returns only when all are done. A nil Executor means "run serially on the
+// calling goroutine". internal/sweep provides a bounded worker-pool
+// implementation (Pool.Map) that can be assigned directly to this type; the
+// harness itself stays free of goroutines, channels and sync — the
+// determinism contract audited by ksetlint — because all concurrency lives
+// behind this function value.
+//
+// Jobs handed to an Executor must be pure functions of their job index
+// (seeds pre-drawn in canonical order, results written to job-indexed
+// slots), so every merge is byte-identical regardless of worker count.
+type Executor func(jobs int, run func(job int))
+
+// planScratch holds per-run planning buffers that serial sweeps reuse across
+// runs (parallel sweeps give every job its own, since jobs run concurrently).
+type planScratch struct {
+	faulty []bool
+	perm   []int
+	inputs []types.Value
+}
+
+// faultyFor returns a cleared faulty vector of length n, reusing capacity.
+func (sc *planScratch) faultyFor(n int) []bool {
+	if cap(sc.faulty) < n {
+		sc.faulty = make([]bool, n)
+	}
+	sc.faulty = sc.faulty[:n]
+	for i := range sc.faulty {
+		sc.faulty[i] = false
+	}
+	return sc.faulty
+}
+
 // InputPattern names a workload shape for process inputs.
 type InputPattern uint8
 
@@ -60,7 +93,18 @@ func AllPatterns() []InputPattern {
 // faulty[i], when non-nil, marks processes planned to be faulty
 // (UniformCorrect gives them deviating values).
 func GenInputs(pattern InputPattern, n int, faulty []bool, rng *prng.Source) []types.Value {
-	out := make([]types.Value, n)
+	return GenInputsInto(nil, pattern, n, faulty, rng)
+}
+
+// GenInputsInto is GenInputs writing into dst when it has capacity — the
+// same draws, one fewer allocation per run in serial sweep loops. The
+// returned slice is only valid until the next call with the same dst.
+func GenInputsInto(dst []types.Value, pattern InputPattern, n int, faulty []bool, rng *prng.Source) []types.Value {
+	out := dst
+	if cap(out) < n {
+		out = make([]types.Value, n)
+	}
+	out = out[:n]
 	switch pattern {
 	case Uniform:
 		v := types.Value(rng.Intn(5) + 1)

@@ -37,6 +37,19 @@ type MPSweep struct {
 	// semantics: processes stop executing once they decide. See the
 	// halting experiments for which protocols survive this.
 	HaltOnDecide bool
+	// Exec fans the runs out across workers (nil = serial). Each run is a
+	// pure function of its pre-drawn seed, and the summary is merged in run
+	// order, so the result is identical for any Executor.
+	Exec Executor
+}
+
+// runResult is one run's outcome, held in a run-indexed slot until the
+// canonical-order merge.
+type runResult struct {
+	scenario  string
+	rec       *types.RunRecord
+	runErr    error
+	violation error
 }
 
 // Execute runs the sweep.
@@ -50,28 +63,54 @@ func (s *MPSweep) Execute() *Summary {
 		patterns = AllPatterns()
 	}
 	sum := &Summary{Name: s.Name, Runs: runs}
+	// Draw every run's seed in canonical order up front; each run then
+	// depends only on its own seed, making the runs independent jobs.
 	master := prng.New(s.BaseSeed)
-	for i := 0; i < runs; i++ {
-		seed := master.Uint64()
-		rng := prng.New(seed)
-		cfg, scenario := s.plan(rng, patterns, seed)
-		rec, err := mpnet.Run(cfg)
-		if err != nil {
-			sum.addRunError(RunOutcome{Seed: seed, Scenario: scenario, Err: err})
+	seeds := make([]uint64, runs)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	results := make([]runResult, runs)
+	if s.Exec == nil {
+		// Serial: one planning scratch reused across all runs.
+		var sc planScratch
+		for i, seed := range seeds {
+			results[i] = s.runOne(seed, patterns, &sc)
+		}
+	} else {
+		s.Exec(runs, func(i int) {
+			var sc planScratch
+			results[i] = s.runOne(seeds[i], patterns, &sc)
+		})
+	}
+	for i, r := range results {
+		if r.runErr != nil {
+			sum.addRunError(RunOutcome{Seed: seeds[i], Scenario: r.scenario, Err: r.runErr})
 			continue
 		}
-		sum.Events += int64(rec.Events)
-		sum.Messages += int64(rec.Messages)
-		sum.observe(rec)
-		if err := checker.CheckAll(rec, s.Validity); err != nil {
-			sum.addViolation(RunOutcome{Seed: seed, Scenario: scenario, Err: err, Record: rec})
+		sum.Events += int64(r.rec.Events)
+		sum.Messages += int64(r.rec.Messages)
+		sum.observe(r.rec)
+		if r.violation != nil {
+			sum.addViolation(RunOutcome{Seed: seeds[i], Scenario: r.scenario, Err: r.violation, Record: r.rec})
 		}
 	}
 	return sum
 }
 
+// runOne plans, executes and checks a single run.
+func (s *MPSweep) runOne(seed uint64, patterns []InputPattern, sc *planScratch) runResult {
+	rng := prng.New(seed)
+	cfg, scenario := s.plan(rng, patterns, seed, sc)
+	rec, err := mpnet.Run(cfg)
+	if err != nil {
+		return runResult{scenario: scenario, runErr: err}
+	}
+	return runResult{scenario: scenario, rec: rec, violation: checker.CheckAll(rec, s.Validity)}
+}
+
 // plan derives one scenario from the run's random stream.
-func (s *MPSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (mpnet.Config, string) {
+func (s *MPSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64, sc *planScratch) (mpnet.Config, string) {
 	n, t := s.N, s.T
 	// Plan the faulty set: usually the full budget t (worst case), sometimes
 	// fewer, sometimes none.
@@ -84,13 +123,15 @@ func (s *MPSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (
 	case 1:
 		f = 0
 	}
-	faulty := make([]bool, n)
-	for _, idx := range rng.Perm(n)[:f] {
+	faulty := sc.faultyFor(n)
+	sc.perm = rng.PermInto(sc.perm, n)
+	for _, idx := range sc.perm[:f] {
 		faulty[idx] = true
 	}
 
 	pattern := patterns[rng.Intn(len(patterns))]
-	inputs := GenInputs(pattern, n, faulty, rng)
+	sc.inputs = GenInputsInto(sc.inputs, pattern, n, faulty, rng)
+	inputs := sc.inputs
 
 	cfg := mpnet.Config{
 		N: n, T: t, K: s.K,
@@ -107,7 +148,7 @@ func (s *MPSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (
 		cfg.Scheduler = mpnet.FIFO{}
 		schedName = "fifo"
 	case 1:
-		cfg.Scheduler = randomPartitionGate(n, rng)
+		cfg.Scheduler = randomPartitionGate(n, rng, sc)
 		schedName = "partition"
 	case 2:
 		cfg.Scheduler = mpnet.LIFO{}
@@ -165,13 +206,14 @@ func (s *MPSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (
 
 // randomPartitionGate builds a GroupGate over a random partition into 2..4
 // groups.
-func randomPartitionGate(n int, rng *prng.Source) *mpnet.GroupGate {
+func randomPartitionGate(n int, rng *prng.Source, sc *planScratch) *mpnet.GroupGate {
 	groupCount := rng.Intn(3) + 2
 	if groupCount > n {
 		groupCount = n
 	}
 	groups := make([][]types.ProcessID, groupCount)
-	for _, idx := range rng.Perm(n) {
+	sc.perm = rng.PermInto(sc.perm, n)
+	for _, idx := range sc.perm {
 		g := rng.Intn(groupCount)
 		groups[g] = append(groups[g], types.ProcessID(idx))
 	}

@@ -76,6 +76,13 @@ func SMFactory(r theory.Result) (func(types.ProcessID) smmem.Protocol, error) {
 // instantiates the witness protocol and sweeps randomized adversarial
 // scenarios, checking every run. Runs controls the sweep size.
 func ValidateCell(m types.Model, v types.Validity, n, k, t, runs int, seed uint64) (*Summary, error) {
+	return ValidateCellExec(m, v, n, k, t, runs, seed, nil)
+}
+
+// ValidateCellExec is ValidateCell with the sweep's runs fanned out through
+// exec (nil = serial). The summary is identical for any executor: run seeds
+// are pre-drawn and results merge in run order.
+func ValidateCellExec(m types.Model, v types.Validity, n, k, t, runs int, seed uint64, exec Executor) (*Summary, error) {
 	r := theory.Classify(m, v, n, k, t)
 	if r.Status != theory.Solvable {
 		return nil, fmt.Errorf("%w: cell %v/%v n=%d k=%d t=%d is %v", ErrNoWitness, m, v, n, k, t, r.Status)
@@ -93,6 +100,7 @@ func ValidateCell(m types.Model, v types.Validity, n, k, t, runs int, seed uint6
 			Byzantine:   m.Failure == types.Byzantine,
 			Runs:        runs,
 			BaseSeed:    seed,
+			Exec:        exec,
 		}
 		return s.Execute(), nil
 	case types.SharedMemory:
@@ -106,6 +114,7 @@ func ValidateCell(m types.Model, v types.Validity, n, k, t, runs int, seed uint6
 			Byzantine:   m.Failure == types.Byzantine,
 			Runs:        runs,
 			BaseSeed:    seed,
+			Exec:        exec,
 		}
 		return s.Execute(), nil
 	default:

@@ -32,6 +32,10 @@ type SMSweep struct {
 	Patterns []InputPattern
 	// MaxOps overrides the per-run operation budget (0 = runtime default).
 	MaxOps int
+	// Exec fans the runs out across workers (nil = serial). Seeds are
+	// pre-drawn and the summary merged in run order, so the result is
+	// identical for any Executor.
+	Exec Executor
 }
 
 // Execute runs the sweep.
@@ -46,26 +50,49 @@ func (s *SMSweep) Execute() *Summary {
 	}
 	sum := &Summary{Name: s.Name, Runs: runs}
 	master := prng.New(s.BaseSeed)
-	for i := 0; i < runs; i++ {
-		seed := master.Uint64()
-		rng := prng.New(seed)
-		cfg, scenario := s.plan(rng, patterns, seed)
-		rec, err := smmem.Run(cfg)
-		if err != nil {
-			sum.addRunError(RunOutcome{Seed: seed, Scenario: scenario, Err: err})
+	seeds := make([]uint64, runs)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	results := make([]runResult, runs)
+	if s.Exec == nil {
+		var sc planScratch
+		for i, seed := range seeds {
+			results[i] = s.runOne(seed, patterns, &sc)
+		}
+	} else {
+		s.Exec(runs, func(i int) {
+			var sc planScratch
+			results[i] = s.runOne(seeds[i], patterns, &sc)
+		})
+	}
+	for i, r := range results {
+		if r.runErr != nil {
+			sum.addRunError(RunOutcome{Seed: seeds[i], Scenario: r.scenario, Err: r.runErr})
 			continue
 		}
-		sum.Events += int64(rec.Events)
-		sum.observe(rec)
-		if err := checker.CheckAll(rec, s.Validity); err != nil {
-			sum.addViolation(RunOutcome{Seed: seed, Scenario: scenario, Err: err, Record: rec})
+		sum.Events += int64(r.rec.Events)
+		sum.observe(r.rec)
+		if r.violation != nil {
+			sum.addViolation(RunOutcome{Seed: seeds[i], Scenario: r.scenario, Err: r.violation, Record: r.rec})
 		}
 	}
 	return sum
 }
 
+// runOne plans, executes and checks a single run.
+func (s *SMSweep) runOne(seed uint64, patterns []InputPattern, sc *planScratch) runResult {
+	rng := prng.New(seed)
+	cfg, scenario := s.plan(rng, patterns, seed, sc)
+	rec, err := smmem.Run(cfg)
+	if err != nil {
+		return runResult{scenario: scenario, runErr: err}
+	}
+	return runResult{scenario: scenario, rec: rec, violation: checker.CheckAll(rec, s.Validity)}
+}
+
 // plan derives one scenario from the run's random stream.
-func (s *SMSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (smmem.Config, string) {
+func (s *SMSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64, sc *planScratch) (smmem.Config, string) {
 	n, t := s.N, s.T
 	f := t
 	switch rng.Intn(4) {
@@ -76,15 +103,17 @@ func (s *SMSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (
 	case 1:
 		f = 0
 	}
-	faulty := make([]bool, n)
+	faulty := sc.faultyFor(n)
 	faultyIDs := make([]types.ProcessID, 0, f)
-	for _, idx := range rng.Perm(n)[:f] {
+	sc.perm = rng.PermInto(sc.perm, n)
+	for _, idx := range sc.perm[:f] {
 		faulty[idx] = true
 		faultyIDs = append(faultyIDs, types.ProcessID(idx))
 	}
 
 	pattern := patterns[rng.Intn(len(patterns))]
-	inputs := GenInputs(pattern, n, faulty, rng)
+	sc.inputs = GenInputsInto(sc.inputs, pattern, n, faulty, rng)
+	inputs := sc.inputs
 
 	cfg := smmem.Config{
 		N: n, T: t, K: s.K,
@@ -101,7 +130,8 @@ func (s *SMSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64) (
 	delaySet := func() []types.ProcessID {
 		size := rng.Intn(t + 1)
 		ids := make([]types.ProcessID, 0, size)
-		for _, idx := range rng.Perm(n)[:size] {
+		sc.perm = rng.PermInto(sc.perm, n)
+		for _, idx := range sc.perm[:size] {
 			ids = append(ids, types.ProcessID(idx))
 		}
 		return ids

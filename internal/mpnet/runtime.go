@@ -80,8 +80,12 @@ type process struct {
 	events    int // deliveries processed (Start included)
 	sends     int // transmissions performed
 	// selfQueue holds payloads this process sent to itself; they are
-	// delivered immediately after the current handler returns.
+	// delivered immediately after the current handler returns. The backing
+	// array is reused across drains.
 	selfQueue []types.Payload
+	// a is the process's API adapter, built once at runtime setup so the hot
+	// dispatch path never allocates one per delivery.
+	a api
 }
 
 type runtime struct {
@@ -231,8 +235,13 @@ func newRuntime(cfg Config) *runtime {
 		} else {
 			p.proto = cfg.NewProtocol(id)
 		}
+		p.a = api{rt: rt, p: p}
 		rt.procs[i] = p
 	}
+	// Every round of a full-information protocol keeps up to n*(n-1) point-to-
+	// point messages in flight; seed the queue with that capacity so steady
+	// state never regrows it.
+	rt.inflight = make([]Envelope, 0, n*n)
 	return rt
 }
 
@@ -303,18 +312,21 @@ func (rt *runtime) send(from *process, to types.ProcessID, payload types.Payload
 	rt.seq++
 }
 
-// dispatch runs a protocol handler and then drains the process's self-queue,
-// so a process hears its own broadcasts immediately but without handler
-// reentrancy.
-func (rt *runtime) dispatch(p *process, f func(a *api)) {
-	a := &api{rt: rt, p: p}
-	f(a)
-	for len(p.selfQueue) > 0 && !p.crashed && !rt.halted(p) {
-		payload := p.selfQueue[0]
-		p.selfQueue = p.selfQueue[1:]
+// drainSelf delivers the payloads a process sent to itself during the handler
+// that just returned, so a process hears its own broadcasts immediately but
+// without handler reentrancy. Handlers may enqueue more self-sends while
+// draining; the index walk picks those up too, and the backing array is
+// truncated (not resliced away) so the next handler reuses it.
+func (rt *runtime) drainSelf(p *process) {
+	a := &p.a
+	for qi := 0; qi < len(p.selfQueue) && !p.crashed && !rt.halted(p); qi++ {
+		payload := p.selfQueue[qi]
 		rt.trace(TraceEvent{Type: EvDeliver, Proc: p.id, Peer: p.id, Payload: payload})
 		p.proto.Deliver(a, p.id, payload)
 	}
+	// Leftovers (crash or halt mid-drain) are droppable: a crashed or halted
+	// process never runs a handler again.
+	p.selfQueue = p.selfQueue[:0]
 }
 
 // halted reports whether a process has stopped for good under the
@@ -348,7 +360,8 @@ func (rt *runtime) run() error {
 			continue
 		}
 		p.events++
-		rt.dispatch(p, func(a *api) { p.proto.Start(a) })
+		p.proto.Start(&p.a)
+		rt.drainSelf(p)
 		if rt.err != nil {
 			return rt.err
 		}
@@ -390,7 +403,8 @@ func (rt *runtime) run() error {
 		rt.view.Events++
 		p.events++
 		rt.trace(TraceEvent{Type: EvDeliver, Proc: env.To, Peer: env.From, Payload: env.Payload})
-		rt.dispatch(p, func(a *api) { p.proto.Deliver(a, env.From, env.Payload) })
+		p.proto.Deliver(&p.a, env.From, env.Payload)
+		rt.drainSelf(p)
 		if rt.err != nil {
 			return rt.err
 		}

@@ -76,11 +76,22 @@ func (s *Source) Float64() float64 {
 
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
-	p := make([]int, n)
+	return s.PermInto(nil, n)
+}
+
+// PermInto fills p[:n] with a random permutation of [0, n), reusing p's
+// backing array when it has capacity (hot sweep loops call this once per
+// run). It consumes exactly the same draws as Perm, so swapping one for the
+// other never perturbs a seeded stream.
+func (s *Source) PermInto(p []int, n int) []int {
+	if cap(p) < n {
+		p = make([]int, n)
+	}
+	p = p[:n]
 	for i := range p {
 		p[i] = i
 	}
-	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
 	return p
 }
 

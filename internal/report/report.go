@@ -18,6 +18,7 @@ import (
 	"kset/internal/mpnet"
 	"kset/internal/prng"
 	"kset/internal/protocols/mp"
+	"kset/internal/sweep"
 	"kset/internal/theory"
 	"kset/internal/types"
 )
@@ -35,6 +36,10 @@ type Config struct {
 	Seed uint64
 	// GridN is the size for the region-count tables (default 64).
 	GridN int
+	// Workers is the worker-thread count for sweeps and grid passes
+	// (0 = GOMAXPROCS, 1 = serial). The report is byte-identical for every
+	// worker count: all jobs are planned and rendered in canonical order.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -55,28 +60,50 @@ func (c *Config) defaults() {
 // Run executes the evaluation and writes the markdown report.
 func Run(w io.Writer, cfg Config) error {
 	cfg.defaults()
+	exec := executorFor(cfg.Workers)
 	start := time.Now() //ksetlint:allow determinism.time wall-clock banner only; no result depends on it
 	fmt.Fprintf(w, "# k-set consensus reproduction report\n\n")
 	fmt.Fprintf(w, "Parameters: sweeps at n=%d (%d runs x %d cells per panel), region tables at n=%d, seed %d.\n\n",
 		cfg.N, cfg.Runs, cfg.Samples, cfg.GridN, cfg.Seed)
 
 	writeLattice(w)
-	writeGridTables(w, cfg.GridN)
-	if err := writeValidation(w, cfg); err != nil {
+	writeGridTables(w, cfg.GridN, exec)
+	if err := writeValidation(w, cfg, exec); err != nil {
 		return err
 	}
-	if err := writeConstructions(w, cfg.N); err != nil {
+	if err := writeConstructions(w, cfg.N, exec); err != nil {
 		return err
 	}
-	writeHalting(w, cfg)
-	writeTightness(w, cfg)
-	writeExhaustive(w)
-	writeGapProbes(w)
-	writeLatency(w, cfg)
+	writeHalting(w, cfg, exec)
+	writeTightness(w, cfg, exec)
+	writeExhaustive(w, exec)
+	writeGapProbes(w, exec)
+	writeLatency(w, cfg, exec)
 
 	//ksetlint:allow determinism.time wall-clock banner only; no result depends on it
 	fmt.Fprintf(w, "\nGenerated in %v.\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// executorFor builds the fan-out executor for a worker count; one worker
+// means serial execution. The sweep engine holds all the concurrency — this
+// package stays goroutine-free, as the determinism lint requires.
+func executorFor(workers int) harness.Executor {
+	if workers == 1 {
+		return nil
+	}
+	return sweep.NewPool(workers).Map
+}
+
+// runJobs fans independent jobs across exec, serially when exec is nil.
+func runJobs(exec harness.Executor, jobs int, run func(job int)) {
+	if exec == nil {
+		for i := 0; i < jobs; i++ {
+			run(i)
+		}
+		return
+	}
+	exec(jobs, run)
 }
 
 func writeLattice(w io.Writer) {
@@ -90,59 +117,74 @@ func writeLattice(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func writeGridTables(w io.Writer, n int) {
+func writeGridTables(w io.Writer, n int, exec harness.Executor) {
 	fmt.Fprintf(w, "## Figures 2/4/5/6: region cell counts at n=%d\n\n", n)
-	for _, f := range theory.Figures() {
+	// One classifier pass per figure covers all six panels; the four figures
+	// are independent jobs.
+	figures := theory.Figures()
+	grids := make([][]*theory.Grid, len(figures))
+	runJobs(exec, len(figures), func(j int) {
+		grids[j] = theory.ComputeFigure(figures[j].Model, n)
+	})
+	for j, f := range figures {
 		fmt.Fprintf(w, "### Figure %d (%s)\n\n", f.Number, f.Model)
 		fmt.Fprintf(w, "| panel | solvable | impossible | open |\n|---|---|---|---|\n")
-		for _, v := range types.AllValidities() {
-			g := theory.ComputeGrid(f.Model, v, n)
+		for _, g := range grids[j] {
 			s, i, o := g.Count()
-			fmt.Fprintf(w, "| %s | %d | %d | %d |\n", v, s, i, o)
+			fmt.Fprintf(w, "| %s | %d | %d | %d |\n", g.Validity, s, i, o)
 		}
 		fmt.Fprintln(w)
 	}
 }
 
-func writeValidation(w io.Writer, cfg Config) error {
+func writeValidation(w io.Writer, cfg Config, exec harness.Executor) error {
 	fmt.Fprintf(w, "## Empirical validation of solvable cells (n=%d)\n\n", cfg.N)
 	fmt.Fprintf(w, "| panel | cell | witness | runs | outcome |\n|---|---|---|---|---|\n")
-	failures := 0
+	// Plan every sampled cell (and its sweep seed) in canonical panel order,
+	// fan the sweeps out, then render rows in plan order — byte-identical
+	// output for any worker count.
+	type cellJob struct {
+		g    *theory.Grid
+		c    theory.CellPoint
+		seed uint64
+		sum  *harness.Summary
+		err  error
+	}
+	var jobs []cellJob
 	for _, f := range theory.Figures() {
-		for _, v := range types.AllValidities() {
-			g := theory.ComputeGrid(f.Model, v, cfg.N)
-			type point struct{ k, t int }
-			var cells []point
-			for k := g.KMin(); k <= g.KMax(); k++ {
-				for t := g.TMin(); t <= g.TMax(); t++ {
-					if g.At(k, t).Status == theory.Solvable {
-						cells = append(cells, point{k, t})
-					}
-				}
-			}
+		for _, g := range theory.ComputeFigure(f.Model, cfg.N) {
+			cells := g.SolvableCells()
 			if len(cells) == 0 {
 				continue
 			}
-			rng := prng.New(cfg.Seed + uint64(f.Number)*100 + uint64(v))
+			rng := prng.New(cfg.Seed + uint64(f.Number)*100 + uint64(g.Validity))
 			samples := cfg.Samples
 			if samples > len(cells) {
 				samples = len(cells)
 			}
 			for _, idx := range rng.Perm(len(cells))[:samples] {
-				c := cells[idx]
-				sum, err := harness.ValidateCell(f.Model, v, cfg.N, c.k, c.t, cfg.Runs, rng.Uint64())
-				if err != nil {
-					return err
-				}
-				outcome := "all conditions held"
-				if !sum.OK() {
-					outcome = fmt.Sprintf("FAILED: %v", sum.Violations[0].Err)
-					failures++
-				}
-				fmt.Fprintf(w, "| %s/%s | k=%d t=%d | %s | %d | %s |\n",
-					f.Model, v, c.k, c.t, g.At(c.k, c.t).Protocol, sum.Runs, outcome)
+				jobs = append(jobs, cellJob{g: g, c: cells[idx], seed: rng.Uint64()})
 			}
 		}
+	}
+	runJobs(exec, len(jobs), func(j int) {
+		jb := &jobs[j]
+		jb.sum, jb.err = harness.ValidateCellExec(
+			jb.g.Model, jb.g.Validity, cfg.N, jb.c.K, jb.c.T, cfg.Runs, jb.seed, exec)
+	})
+	failures := 0
+	for j := range jobs {
+		jb := &jobs[j]
+		if jb.err != nil {
+			return jb.err
+		}
+		outcome := "all conditions held"
+		if !jb.sum.OK() {
+			outcome = fmt.Sprintf("FAILED: %v", jb.sum.Violations[0].Err)
+			failures++
+		}
+		fmt.Fprintf(w, "| %s/%s | k=%d t=%d | %s | %d | %s |\n",
+			jb.g.Model, jb.g.Validity, jb.c.K, jb.c.T, jb.g.At(jb.c.K, jb.c.T).Protocol, jb.sum.Runs, outcome)
 	}
 	if failures > 0 {
 		fmt.Fprintf(w, "\n**%d cell validations FAILED.**\n\n", failures)
@@ -152,81 +194,63 @@ func writeValidation(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func writeConstructions(w io.Writer, n int) error {
+func writeConstructions(w io.Writer, n int, exec harness.Executor) error {
 	fmt.Fprintf(w, "## Impossibility constructions (n=%d)\n\n", n)
 	fmt.Fprintf(w, "| construction | lemma | expected | exhibited |\n|---|---|---|---|\n")
 
-	emit := func(name, lemma, expect string, out *harness.RunOutcome) {
-		if out == nil {
-			fmt.Fprintf(w, "| %s | %s | %s | NO VIOLATION |\n", name, lemma, expect)
+	// Builders return fresh instances, so distinct constructions are
+	// independent jobs: build in table order, execute across the pool, render
+	// in table order. Builders that decline the (n, k, t) point are skipped.
+	type consJob struct {
+		name, lemma, expect string
+		run                 func() (*harness.RunOutcome, error)
+		out                 *harness.RunOutcome
+		err                 error
+	}
+	var jobs []consJob
+	add := func(cons *adversary.MPConstruction, err error) {
+		if err != nil {
 			return
 		}
-		fmt.Fprintf(w, "| %s | %s | %s | %d distinct decisions / %v |\n",
-			name, lemma, expect, len(out.Record.CorrectDecisions()), condition(out))
+		jobs = append(jobs, consJob{
+			name: cons.Name, lemma: cons.Lemma, expect: cons.Expect,
+			run: func() (*harness.RunOutcome, error) { return harness.RunConstruction(cons, 8) },
+		})
 	}
+	addSM := func(cons *adversary.SMConstruction, err error) {
+		if err != nil {
+			return
+		}
+		jobs = append(jobs, consJob{
+			name: cons.Name, lemma: cons.Lemma, expect: cons.Expect,
+			run: func() (*harness.RunOutcome, error) { return harness.RunSMConstruction(cons, 8) },
+		})
+	}
+	add(adversary.Lemma32FloodMin(n, 2, (n-1)/2))
+	add(adversary.Lemma33ProtocolA(n, 2, n-n/4))
+	add(adversary.Lemma35FloodMin(n, 2, 1))
+	add(adversary.Lemma36ProtocolB(n, 2, (2*n+4)/5))
+	add(adversary.BoundaryProtocolA(n, 2))
+	add(adversary.Lemma39ProtocolA(n, 2, n/2+1))
+	add(adversary.Lemma310FloodMin(n, 2, 1))
+	addSM(adversary.Lemma43ProtocolF(n, 2, n/2+1))
+	addSM(adversary.Lemma49ProtocolE(n, 2, 1))
 
-	if cons, err := adversary.Lemma32FloodMin(n, 2, (n-1)/2); err == nil {
-		out, err := harness.RunConstruction(cons, 8)
-		if err != nil {
-			return err
+	runJobs(exec, len(jobs), func(j int) {
+		jb := &jobs[j]
+		jb.out, jb.err = jb.run()
+	})
+	for j := range jobs {
+		jb := &jobs[j]
+		if jb.err != nil {
+			return jb.err
 		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
-	}
-	if cons, err := adversary.Lemma33ProtocolA(n, 2, n-n/4); err == nil {
-		out, err := harness.RunConstruction(cons, 8)
-		if err != nil {
-			return err
+		if jb.out == nil {
+			fmt.Fprintf(w, "| %s | %s | %s | NO VIOLATION |\n", jb.name, jb.lemma, jb.expect)
+			continue
 		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
-	}
-	if cons, err := adversary.Lemma35FloodMin(n, 2, 1); err == nil {
-		out, err := harness.RunConstruction(cons, 8)
-		if err != nil {
-			return err
-		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
-	}
-	if cons, err := adversary.Lemma36ProtocolB(n, 2, (2*n+4)/5); err == nil {
-		out, err := harness.RunConstruction(cons, 8)
-		if err != nil {
-			return err
-		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
-	}
-	if cons, err := adversary.BoundaryProtocolA(n, 2); err == nil {
-		out, err := harness.RunConstruction(cons, 8)
-		if err != nil {
-			return err
-		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
-	}
-	if cons, err := adversary.Lemma39ProtocolA(n, 2, n/2+1); err == nil {
-		out, err := harness.RunConstruction(cons, 8)
-		if err != nil {
-			return err
-		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
-	}
-	if cons, err := adversary.Lemma310FloodMin(n, 2, 1); err == nil {
-		out, err := harness.RunConstruction(cons, 8)
-		if err != nil {
-			return err
-		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
-	}
-	if cons, err := adversary.Lemma43ProtocolF(n, 2, n/2+1); err == nil {
-		out, err := harness.RunSMConstruction(cons, 8)
-		if err != nil {
-			return err
-		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
-	}
-	if cons, err := adversary.Lemma49ProtocolE(n, 2, 1); err == nil {
-		out, err := harness.RunSMConstruction(cons, 8)
-		if err != nil {
-			return err
-		}
-		emit(cons.Name, cons.Lemma, cons.Expect, out)
+		fmt.Fprintf(w, "| %s | %s | %s | %d distinct decisions / %v |\n",
+			jb.name, jb.lemma, jb.expect, len(jb.out.Record.CorrectDecisions()), condition(jb.out))
 	}
 	fmt.Fprintln(w)
 	return nil
@@ -240,7 +264,7 @@ func condition(out *harness.RunOutcome) string {
 	return out.Err.Error()
 }
 
-func writeHalting(w io.Writer, cfg Config) {
+func writeHalting(w io.Writer, cfg Config, exec harness.Executor) {
 	fmt.Fprintf(w, "## Terminating-protocol experiment (the paper's open problem)\n\n")
 	fmt.Fprintf(w, "| protocol | helping | halting after decide |\n|---|---|---|\n")
 	n := cfg.N
@@ -284,10 +308,15 @@ func writeHalting(w io.Writer, cfg Config) {
 		}
 		return "terminates"
 	}
-	for _, tr := range trials {
-		fmt.Fprintf(w, "| %s | %s | %s |\n", tr.name,
-			verdictFor(tr.factory, tr.k, tr.t, tr.inputs, tr.sched, false),
-			verdictFor(tr.factory, tr.k, tr.t, tr.inputs, tr.sched, true))
+	// Each (trial, halting-mode) run is independent; DelayProcess schedulers
+	// are read-only after construction, so trials can share one safely.
+	verdicts := make([]string, len(trials)*2)
+	runJobs(exec, len(verdicts), func(j int) {
+		tr := trials[j/2]
+		verdicts[j] = verdictFor(tr.factory, tr.k, tr.t, tr.inputs, tr.sched, j%2 == 1)
+	})
+	for i, tr := range trials {
+		fmt.Fprintf(w, "| %s | %s | %s |\n", tr.name, verdicts[2*i], verdicts[2*i+1])
 	}
 	fmt.Fprintln(w)
 }
@@ -295,7 +324,7 @@ func writeHalting(w io.Writer, cfg Config) {
 // writeExhaustive re-derives the one-shot protocols' region boundaries by
 // exhaustive small-scope verification (every input pattern, faulty set and
 // arrival subset at n=5).
-func writeExhaustive(w io.Writer) {
+func writeExhaustive(w io.Writer, exec harness.Executor) {
 	fmt.Fprintf(w, "## Exhaustive small-scope rederivation (n=5, all adversaries)\n\n")
 	fmt.Fprintf(w, "| protocol | condition | boundary re-derived | cells checked |\n|---|---|---|---|\n")
 	const n = 5
@@ -312,15 +341,22 @@ func writeExhaustive(w io.Writer) {
 		{exhaustive.ProtocolBRule{}, types.SV2,
 			func(k, t int) bool { return theory.ProtocolBRegion(n, k, t) }, "2kt < (k-1)n"},
 	}
-	for _, r := range rules {
+	// Every (rule, k, t) cell is an independent exhaustive check.
+	cells := (n - 2) * (n - 1)
+	holds := make([]bool, len(rules)*cells)
+	runJobs(exec, len(holds), func(j int) {
+		r := rules[j/cells]
+		k := 2 + (j%cells)/(n-1)
+		t := 1 + (j%cells)%(n-1)
+		holds[j] = exhaustive.Verify(r.rule, r.validity, n, k, t, 0).Holds
+	})
+	for ri, r := range rules {
 		match := true
-		cells := 0
-		for k := 2; k <= n-1; k++ {
-			for t := 1; t <= n-1; t++ {
-				cells++
-				if exhaustive.Verify(r.rule, r.validity, n, k, t, 0).Holds != r.region(k, t) {
-					match = false
-				}
+		for j := ri * cells; j < (ri+1)*cells; j++ {
+			k := 2 + (j%cells)/(n-1)
+			t := 1 + (j%cells)%(n-1)
+			if holds[j] != r.region(k, t) {
+				match = false
 			}
 		}
 		verdictStr := "EXACT: " + r.formula
@@ -336,22 +372,28 @@ func writeExhaustive(w io.Writer) {
 // Protocol B's region (Lemma 3.8) and the SV2 impossibility (Lemma 3.6) at
 // a small n, and reports the exhaustive verdict for Protocol B at each:
 // B fails throughout the gap, so the gap is open only for OTHER protocols.
-func writeGapProbes(w io.Writer) {
+func writeGapProbes(w io.Writer, exec harness.Executor) {
 	const n = 6 // exhaustive cost grows as (k+2)^n: keep small
 	fmt.Fprintf(w, "## Open-gap probes: MP/CR SV2 at n=%d\n\n", n)
 	fmt.Fprintf(w, "| cell | paper status | Protocol B (exhaustive) |\n|---|---|---|\n")
+	var open []theory.CellPoint
 	for k := 2; k <= n-1; k++ {
 		for t := 1; t <= n-1; t++ {
-			if theory.Classify(types.MPCR, types.SV2, n, k, t).Status != theory.Open {
-				continue
+			if theory.Classify(types.MPCR, types.SV2, n, k, t).Status == theory.Open {
+				open = append(open, theory.CellPoint{K: k, T: t})
 			}
-			verdict := exhaustive.Verify(exhaustive.ProtocolBRule{}, types.SV2, n, k, t, 0)
-			outcome := "fails — gap open for other protocols"
-			if verdict.Holds {
-				outcome = "HOLDS — candidate to close the gap"
-			}
-			fmt.Fprintf(w, "| k=%d t=%d | open | %s |\n", k, t, outcome)
 		}
+	}
+	holds := make([]bool, len(open))
+	runJobs(exec, len(open), func(j int) {
+		holds[j] = exhaustive.Verify(exhaustive.ProtocolBRule{}, types.SV2, n, open[j].K, open[j].T, 0).Holds
+	})
+	for j, c := range open {
+		outcome := "fails — gap open for other protocols"
+		if holds[j] {
+			outcome = "HOLDS — candidate to close the gap"
+		}
+		fmt.Fprintf(w, "| k=%d t=%d | open | %s |\n", c.K, c.T, outcome)
 	}
 	fmt.Fprintln(w)
 }
@@ -359,7 +401,7 @@ func writeGapProbes(w io.Writer) {
 // writeLatency profiles decision latency (global delivery events until the
 // first and last correct decision) for each message-passing protocol on a
 // failure-free distinct-input workload.
-func writeLatency(w io.Writer, cfg Config) {
+func writeLatency(w io.Writer, cfg Config, exec harness.Executor) {
 	fmt.Fprintf(w, "## Decision latency profile (failure-free, n=%d, delivery events)\n\n", cfg.N)
 	fmt.Fprintf(w, "| protocol | first decision | last decision | messages |\n|---|---|---|---|\n")
 	n := cfg.N
@@ -383,18 +425,31 @@ func writeLatency(w io.Writer, cfg Config) {
 		{"Protocol C(1)", n - 1, (n - 1) / 4, uniform, func() mpnet.Protocol { return mp.NewProtocolC(1) }},
 		{"Protocol D", n - 1, (n - 1) / 4, inputs, func() mpnet.Protocol { return mp.NewProtocolD() }},
 	}
-	for _, tr := range trials {
+	type latJob struct {
+		idx int // trial index
+		rec *types.RunRecord
+		err error
+	}
+	var jobs []latJob
+	for i, tr := range trials {
 		if tr.k < 2 || tr.k > n-1 || tr.t < 1 {
 			continue
 		}
-		rec, err := mpnet.Run(mpnet.Config{
+		jobs = append(jobs, latJob{idx: i})
+	}
+	runJobs(exec, len(jobs), func(j int) {
+		tr := trials[jobs[j].idx]
+		jobs[j].rec, jobs[j].err = mpnet.Run(mpnet.Config{
 			N: n, T: tr.t, K: tr.k,
 			Inputs:      tr.inputs,
 			NewProtocol: func(types.ProcessID) mpnet.Protocol { return tr.factory() },
 			Seed:        cfg.Seed + 7,
 		})
-		if err != nil {
-			fmt.Fprintf(w, "| %s | error: %v | | |\n", tr.name, err)
+	})
+	for j := range jobs {
+		tr, rec := trials[jobs[j].idx], jobs[j].rec
+		if jobs[j].err != nil {
+			fmt.Fprintf(w, "| %s | error: %v | | |\n", tr.name, jobs[j].err)
 			continue
 		}
 		lats, ok := rec.DecisionLatencies()
@@ -408,7 +463,7 @@ func writeLatency(w io.Writer, cfg Config) {
 	fmt.Fprintln(w)
 }
 
-func writeTightness(w io.Writer, cfg Config) {
+func writeTightness(w io.Writer, cfg Config, exec harness.Executor) {
 	fmt.Fprintf(w, "## Agreement tightness in typical adversarial runs (n=%d)\n\n", cfg.N)
 	fmt.Fprintf(w, "| protocol | bound k | max distinct observed | mean distinct | default decisions |\n|---|---|---|---|---|\n")
 	n := cfg.N
@@ -432,6 +487,7 @@ func writeTightness(w io.Writer, cfg Config) {
 			NewProtocol: func(types.ProcessID) mpnet.Protocol { return tr.factory() },
 			Runs:        cfg.Runs * 4,
 			BaseSeed:    cfg.Seed + 99,
+			Exec:        exec,
 		}
 		sum := s.Execute()
 		fmt.Fprintf(w, "| %s (t=%d) | %d | %d | %.2f | %d |\n",

@@ -46,6 +46,28 @@ func TestReportEndToEnd(t *testing.T) {
 	}
 }
 
+// TestWorkersDeterminism checks the parallel-report guarantee: the rendered
+// report is byte-identical whether jobs run serially or across 8 workers.
+// Only the wall-clock banner on the final line may differ.
+func TestWorkersDeterminism(t *testing.T) {
+	reportFor := func(workers int) string {
+		var b strings.Builder
+		if err := Run(&b, Config{N: 6, Runs: 4, Samples: 1, Seed: 3, GridN: 10, Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := b.String()
+		if i := strings.LastIndex(out, "\nGenerated in "); i >= 0 {
+			out = out[:i]
+		}
+		return out
+	}
+	serial := reportFor(1)
+	parallel := reportFor(8)
+	if serial != parallel {
+		t.Errorf("report differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	var c Config
 	c.defaults()

@@ -269,7 +269,7 @@ func newRuntime(cfg Config) *smRuntime {
 	rt := &smRuntime{
 		cfg: cfg,
 		n:   n, t: cfg.T, k: cfg.K,
-		regs:   make(map[regKey]types.Payload),
+		regs:   make(map[regKey]types.Payload, 4*n),
 		rng:    prng.New(cfg.Seed),
 		budget: cfg.MaxOps,
 		sched:  cfg.Scheduler,
@@ -377,14 +377,23 @@ func (rt *smRuntime) run() {
 	// per-process state below happens only when outstanding == 0, so the
 	// schedule is deterministic and race-free (requests on reqCh establish
 	// the happens-before edges).
+	//
+	// Pending requests live in a pid-indexed slice plus a membership bitset
+	// rather than a map: grants are the hot path of every shared-memory run,
+	// and the slice makes each grant allocation-free and yields the
+	// scheduler's ascending-pid candidate order without sorting.
 	outstanding := rt.n
-	pending := make(map[types.ProcessID]request, rt.n)
+	pendingReq := make([]request, rt.n)
+	pendingSet := make([]bool, rt.n)
+	npending := 0
 
 	drain := func() {
 		for outstanding > 0 {
 			req := <-rt.reqCh
 			if req.kind != opExit {
-				pending[req.pid] = req
+				pendingReq[req.pid] = req
+				pendingSet[req.pid] = true
+				npending++
 			}
 			outstanding--
 		}
@@ -393,13 +402,17 @@ func (rt *smRuntime) run() {
 	haltAll := func() {
 		// Halt replies commute: every pending goroutine unwinds without
 		// touching shared state, so wakeup order cannot affect the run.
-		//ksetlint:allow maporder.range halt replies commute; all goroutines just unwind
-		for pid, req := range pending {
-			delete(pending, pid)
-			req.reply <- reply{halt: true}
+		for pid := 0; pid < rt.n; pid++ {
+			if !pendingSet[pid] {
+				continue
+			}
+			pendingSet[pid] = false
+			npending--
+			pendingReq[pid].reply <- reply{halt: true}
 		}
 	}
 
+	ids := make([]types.ProcessID, 0, rt.n)
 	for {
 		drain()
 		if rt.bug() != nil {
@@ -410,7 +423,7 @@ func (rt *smRuntime) run() {
 			haltAll()
 			break
 		}
-		if len(pending) == 0 {
+		if npending == 0 {
 			// Every process exited or crashed without full decision:
 			// quiescent. The checker will flag termination if violated.
 			break
@@ -431,19 +444,19 @@ func (rt *smRuntime) run() {
 			rt.view.Decided[p.id] = p.decided
 		}
 
-		ids := make([]types.ProcessID, 0, len(pending))
-		//ksetlint:allow maporder.range ids are sorted by sortIDs immediately below
-		for pid := range pending {
-			ids = append(ids, pid)
+		ids = ids[:0]
+		for i := 0; i < rt.n; i++ {
+			if pendingSet[i] {
+				ids = append(ids, types.ProcessID(i))
+			}
 		}
-		sortIDs(ids)
 		pid := rt.sched.Next(&rt.view, ids, rt.rng)
-		req, ok := pending[pid]
-		if !ok {
+		if int(pid) < 0 || int(pid) >= rt.n || !pendingSet[pid] {
 			rt.recordBug(fmt.Errorf("%w: %v", ErrBadSchedule, pid))
 			haltAll()
 			break
 		}
+		req := pendingReq[pid]
 		p := rt.procs[pid]
 
 		if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(p) &&
@@ -452,12 +465,14 @@ func (rt *smRuntime) run() {
 			rt.view.Crashed[pid] = true
 			rt.view.Faulty[pid] = true
 			rt.trace(TraceEvent{Type: EvCrash, Proc: pid})
-			delete(pending, pid)
+			pendingSet[pid] = false
+			npending--
 			req.reply <- reply{halt: true}
 			continue
 		}
 
-		delete(pending, pid)
+		pendingSet[pid] = false
+		npending--
 		rt.view.Ops++
 		p.ops++
 		switch req.kind {
@@ -493,14 +508,6 @@ func (rt *smRuntime) run() {
 		rt.view.Decided[p.id] = p.decided
 		if p.decided {
 			rt.trace(TraceEvent{Type: EvDecide, Proc: p.id, Value: p.decision})
-		}
-	}
-}
-
-func sortIDs(ids []types.ProcessID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
 }

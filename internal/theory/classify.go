@@ -63,6 +63,50 @@ func impossible(lemma string) Result { return Result{Status: Impossible, Lemma: 
 
 var open = Result{Status: Open}
 
+// protoCNames precomputes the "Protocol C(l)" witness labels for the small l
+// that occur in practice, so grid computation does not Sprintf per cell. The
+// table is built once at init and never mutated, so concurrent reads (the
+// sweep engine classifies cells from many workers) are safe.
+var protoCNames, protoCSimNames = func() (plain, sim [33]string) {
+	for l := 1; l < len(plain); l++ {
+		plain[l] = fmt.Sprintf("Protocol C(%d)", l)
+		sim[l] = plain[l] + " via SIMULATION"
+	}
+	return
+}()
+
+func protoCName(l int) string {
+	if l > 0 && l < len(protoCNames) {
+		return protoCNames[l]
+	}
+	return fmt.Sprintf("Protocol C(%d)", l)
+}
+
+func protoCSimName(l int) string {
+	if l > 0 && l < len(protoCSimNames) {
+		return protoCSimNames[l]
+	}
+	return fmt.Sprintf("Protocol C(%d) via SIMULATION", l)
+}
+
+// echoEll memoizes BestEchoEll for one (n, k, t) point so that the panels of
+// one figure — up to three validities consult the echo region at the same
+// point — share a single scan. A pure value type: no locks, safe to use from
+// the classifier regardless of how callers parallelize around it.
+type echoEll struct {
+	n, k, t int
+	l       int
+	done    bool
+}
+
+func (e *echoEll) get() int {
+	if !e.done {
+		e.l = BestEchoEll(e.n, e.k, e.t)
+		e.done = true
+	}
+	return e.l
+}
+
 // Classify labels the point (k, t) of problem SC(k, t, validity) with n
 // processes in the given model, per the paper's Figures 2, 4, 5 and 6, plus
 // the boundary cases the paper settles in Section 2:
@@ -95,17 +139,45 @@ func Classify(m types.Model, v types.Validity, n, k, t int) Result {
 		}
 		return impossible("Section 2 (k = 1: consensus, impossible by [17])")
 	}
+	ell := echoEll{n: n, k: k, t: t}
+	return classifyInterior(m, v, n, k, t, &ell)
+}
+
+// classifyInterior handles the non-boundary points 2 <= k <= n-1, t >= 1,
+// with the echo-region scan memoized in ell so figure-wide computations can
+// share it across validities.
+func classifyInterior(m types.Model, v types.Validity, n, k, t int, ell *echoEll) Result {
 	switch m {
 	case types.MPCR:
 		return classifyMPCR(v, n, k, t)
 	case types.MPByz:
-		return classifyMPByz(v, n, k, t)
+		return classifyMPByz(v, n, k, t, ell)
 	case types.SMCR:
 		return classifySMCR(v, n, k, t)
 	case types.SMByz:
-		return classifySMByz(v, n, k, t)
+		return classifySMByz(v, n, k, t, ell)
 	default:
 		panic(fmt.Sprintf("theory: Classify called with unknown model %v", m))
+	}
+}
+
+// classifyAll classifies one interior-or-boundary (k, t) point under every
+// validity condition at once, in types.AllValidities() order, sharing the
+// boundary short-circuits and the echo-region scan across the six panels.
+// This is the single classifier pass behind ComputeFigure.
+func classifyAll(m types.Model, n, k, t int, out []Result) {
+	vs := types.AllValidities()
+	if k >= n || t == 0 || k == 1 {
+		// The Section 2 boundary cases are validity-independent.
+		r := Classify(m, vs[0], n, k, t)
+		for i := range vs {
+			out[i] = r
+		}
+		return
+	}
+	ell := echoEll{n: n, k: k, t: t}
+	for i, v := range vs {
+		out[i] = classifyInterior(m, v, n, k, t, &ell)
 	}
 }
 
@@ -161,13 +233,13 @@ func classifyMPCR(v types.Validity, n, k, t int) Result {
 // classifyMPByz encodes Figure 4 (message passing, Byzantine failures).
 // Crash impossibilities carry over: a crash fault is a legal Byzantine
 // behaviour, so an MP/CR impossibility is an MP/Byz impossibility.
-func classifyMPByz(v types.Validity, n, k, t int) Result {
+func classifyMPByz(v types.Validity, n, k, t int, ell *echoEll) Result {
 	switch v {
 	case types.SV1:
 		return impossible("Lemma 3.5 (crash impossibility carries to Byzantine)")
 	case types.SV2:
-		if l := BestEchoEll(n, k, t); l > 0 {
-			return solvable("Lemma 3.15", fmt.Sprintf("Protocol C(%d)", l)).withProto(ProtoC, l, false)
+		if l := ell.get(); l > 0 {
+			return solvable("Lemma 3.15", protoCName(l)).withProto(ProtoC, l, false)
 		}
 		if Lemma36Impossible(n, k, t) {
 			return impossible("Lemma 3.6 (crash impossibility carries to Byzantine)")
@@ -177,8 +249,8 @@ func classifyMPByz(v types.Validity, n, k, t int) Result {
 		return impossible("Lemma 3.10")
 	case types.RV2:
 		// RV2 is weaker than SV2, so Protocol C(l) covers it.
-		if l := BestEchoEll(n, k, t); l > 0 {
-			return solvable("Lemma 3.15 (via SV2 stronger than RV2)", fmt.Sprintf("Protocol C(%d)", l)).withProto(ProtoC, l, false)
+		if l := ell.get(); l > 0 {
+			return solvable("Lemma 3.15 (via SV2 stronger than RV2)", protoCName(l)).withProto(ProtoC, l, false)
 		}
 		if Lemma311Impossible(n, k, t) {
 			return impossible("Lemma 3.11")
@@ -200,8 +272,8 @@ func classifyMPByz(v types.Validity, n, k, t int) Result {
 			return solvable("Lemma 3.13", "Protocol A").withProto(ProtoA, 0, false)
 		}
 		// WV2 is weaker than SV2: Protocol C(l) regions carry down.
-		if l := BestEchoEll(n, k, t); l > 0 {
-			return solvable("Lemma 3.15 (via SV2 stronger than WV2)", fmt.Sprintf("Protocol C(%d)", l)).withProto(ProtoC, l, false)
+		if l := ell.get(); l > 0 {
+			return solvable("Lemma 3.15 (via SV2 stronger than WV2)", protoCName(l)).withProto(ProtoC, l, false)
 		}
 		if Lemma39Impossible(n, k, t) {
 			return impossible("Lemma 3.9")
@@ -251,7 +323,7 @@ func classifySMCR(v types.Validity, n, k, t int) Result {
 
 // classifySMByz encodes Figure 6 (shared memory, Byzantine failures).
 // SM/CR impossibilities carry over to SM/Byz.
-func classifySMByz(v types.Validity, n, k, t int) Result {
+func classifySMByz(v types.Validity, n, k, t int, ell *echoEll) Result {
 	switch v {
 	case types.SV1:
 		return impossible("Lemma 4.2 (crash impossibility carries to Byzantine)")
@@ -259,8 +331,8 @@ func classifySMByz(v types.Validity, n, k, t int) Result {
 		if ProtocolFRegion(k, t) {
 			return solvable("Lemma 4.12", "Protocol F").withProto(ProtoF, 0, false)
 		}
-		if l := BestEchoEll(n, k, t); l > 0 {
-			return solvable("Lemma 4.11", fmt.Sprintf("Protocol C(%d) via SIMULATION", l)).withProto(ProtoC, l, true)
+		if l := ell.get(); l > 0 {
+			return solvable("Lemma 4.11", protoCSimName(l)).withProto(ProtoC, l, true)
 		}
 		if Lemma43Impossible(n, k, t) {
 			return impossible("Lemma 4.3 (crash impossibility carries to Byzantine)")
@@ -272,8 +344,8 @@ func classifySMByz(v types.Validity, n, k, t int) Result {
 		if ProtocolFRegion(k, t) {
 			return solvable("Lemma 4.12 (via SV2 stronger than RV2)", "Protocol F").withProto(ProtoF, 0, false)
 		}
-		if l := BestEchoEll(n, k, t); l > 0 {
-			return solvable("Lemma 4.11 (via SV2 stronger than RV2)", fmt.Sprintf("Protocol C(%d) via SIMULATION", l)).withProto(ProtoC, l, true)
+		if l := ell.get(); l > 0 {
+			return solvable("Lemma 4.11 (via SV2 stronger than RV2)", protoCSimName(l)).withProto(ProtoC, l, true)
 		}
 		if Lemma49Impossible(n, k, t) {
 			return impossible("Lemma 4.9")

@@ -33,17 +33,48 @@ func (g *Grid) At(k, t int) Result { return g.Cells[t-1][k-2] }
 
 // ComputeGrid classifies every point of one panel of Figures 2/4/5/6.
 func ComputeGrid(m types.Model, v types.Validity, n int) *Grid {
-	g := &Grid{Model: m, Validity: v, N: n}
-	g.Cells = make([][]Result, n)
+	g := newGrid(m, v, n)
 	for t := 1; t <= n; t++ {
-		row := make([]Result, n-2)
+		row := g.Cells[t-1]
 		for k := 2; k <= n-1; k++ {
 			row[k-2] = Classify(m, v, n, k, t)
 		}
-		g.Cells[t-1] = row
 	}
 	return g
 }
+
+// newGrid allocates a grid with all rows carved out of one flat backing
+// slice: two allocations instead of n+1, which dominates the figure-bench
+// allocation counts at the paper's n = 64.
+func newGrid(m types.Model, v types.Validity, n int) *Grid {
+	g := &Grid{Model: m, Validity: v, N: n}
+	g.Cells = make([][]Result, n)
+	width := n - 2
+	flat := make([]Result, n*width)
+	for t := 0; t < n; t++ {
+		g.Cells[t] = flat[t*width : (t+1)*width : (t+1)*width]
+	}
+	return g
+}
+
+// SolvableCells returns the (k, t) points of every solvable cell in row-major
+// (k, then t) order, preallocated from the panel's solvable count. This is
+// the canonical job list for empirical validation sweeps.
+func (g *Grid) SolvableCells() []CellPoint {
+	s, _, _ := g.Count()
+	cells := make([]CellPoint, 0, s)
+	for k := g.KMin(); k <= g.KMax(); k++ {
+		for t := g.TMin(); t <= g.TMax(); t++ {
+			if g.At(k, t).Status == Solvable {
+				cells = append(cells, CellPoint{K: k, T: t})
+			}
+		}
+	}
+	return cells
+}
+
+// CellPoint is one (k, t) coordinate of a grid.
+type CellPoint struct{ K, T int }
 
 // Count returns the number of cells with each status.
 func (g *Grid) Count() (solvable, impossible, openCells int) {
@@ -90,12 +121,25 @@ func FigureForModel(m types.Model) (int, error) {
 }
 
 // ComputeFigure computes all six panels of one region figure at size n
-// (the paper draws them for n = 64), in the paper's validity order.
+// (the paper draws them for n = 64), in the paper's validity order. The six
+// panels share one classifier pass over the (k, t) plane: per-point work that
+// is validity-independent (the Section 2 boundary cases, the BestEchoEll
+// scan consulted by up to three panels) is computed once per point instead
+// of once per panel.
 func ComputeFigure(m types.Model, n int) []*Grid {
 	vs := types.AllValidities()
-	grids := make([]*Grid, 0, len(vs))
-	for _, v := range vs {
-		grids = append(grids, ComputeGrid(m, v, n))
+	grids := make([]*Grid, len(vs))
+	for i, v := range vs {
+		grids[i] = newGrid(m, v, n)
+	}
+	out := make([]Result, len(vs))
+	for t := 1; t <= n; t++ {
+		for k := 2; k <= n-1; k++ {
+			classifyAll(m, n, k, t, out)
+			for i := range grids {
+				grids[i].Cells[t-1][k-2] = out[i]
+			}
+		}
 	}
 	return grids
 }

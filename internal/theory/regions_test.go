@@ -57,6 +57,27 @@ func TestComputeFigureHasSixPanelsInOrder(t *testing.T) {
 	}
 }
 
+// TestComputeFigureMatchesComputeGrid pins the memoized shared-pass figure
+// computation to the panel-at-a-time reference: every cell of every panel of
+// every figure must classify identically.
+func TestComputeFigureMatchesComputeGrid(t *testing.T) {
+	const n = 12
+	for _, f := range Figures() {
+		grids := ComputeFigure(f.Model, n)
+		for i, v := range types.AllValidities() {
+			ref := ComputeGrid(f.Model, v, n)
+			for k := ref.KMin(); k <= ref.KMax(); k++ {
+				for tt := ref.TMin(); tt <= ref.TMax(); tt++ {
+					if grids[i].At(k, tt) != ref.At(k, tt) {
+						t.Errorf("%v/%v k=%d t=%d: figure pass %+v != grid pass %+v",
+							f.Model, v, k, tt, grids[i].At(k, tt), ref.At(k, tt))
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestStatusAndProtocolStrings(t *testing.T) {
 	if Solvable.String() != "solvable" || Impossible.String() != "impossible" || Open.String() != "open" {
 		t.Error("status strings changed")
