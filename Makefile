@@ -12,7 +12,7 @@ GO ?= go
 BENCH_COUNT ?= 6
 BENCH_PATTERN ?= .
 
-.PHONY: all build lint test race race-live short bench bench-sweep verify figures report clean
+.PHONY: all build lint test race race-live short bench bench-sweep verify replay-corpus regen-corpus fuzz-smoke figures report clean
 
 all: build lint test
 
@@ -55,6 +55,23 @@ bench-sweep:
 verify:
 	$(GO) run ./cmd/ksetverify -fig all -n 16 -runs 32 -samples 4
 	$(GO) run ./cmd/ksetverify -constructions -n 16
+
+# Replay every checked-in counterexample artifact through the real simulator
+# and verify the recorded verdicts reproduce. See docs/replay.md.
+replay-corpus:
+	$(GO) run ./cmd/ksetreplay testdata/traces/*.ktr
+	$(GO) test -run TestReplayCorpus ./cmd/ksetreplay/
+
+# Rebuild testdata/traces from scratch (capture + shrink). Deliberate act:
+# run after a trace-format or shrinker change, then commit the artifacts.
+regen-corpus:
+	KSET_REGEN_TRACES=1 $(GO) test -run TestRegenerateCorpus -v ./cmd/ksetreplay/
+
+# Short fuzz pass over the trace codec (one invocation per target: go fuzz
+# allows a single -fuzz pattern match per run).
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzTraceDecode -fuzztime 10s ./internal/trace/
+	$(GO) test -run XXX -fuzz FuzzTraceRoundTrip -fuzztime 10s ./internal/trace/
 
 # Regenerate the paper's figures at n=64 into docs/figures/.
 figures:

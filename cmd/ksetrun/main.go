@@ -245,7 +245,7 @@ func parseInputs(s string, n int) ([]types.Value, error) {
 	}
 	parts := strings.Split(s, ",")
 	if len(parts) != n {
-		return nil, fmt.Errorf("%d inputs for n=%d", len(parts), n)
+		return nil, fmt.Errorf("-inputs lists %d values but -n is %d: every process needs exactly one input", len(parts), n)
 	}
 	out := make([]types.Value, n)
 	for i, p := range parts {

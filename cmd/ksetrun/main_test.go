@@ -100,6 +100,8 @@ func TestParseInputs(t *testing.T) {
 	}
 	if _, err := parseInputs("1,2", 3); err == nil {
 		t.Error("wrong count accepted")
+	} else if !strings.Contains(err.Error(), "2") || !strings.Contains(err.Error(), "3") {
+		t.Errorf("length-mismatch error should name both counts: %v", err)
 	}
 	if _, err := parseInputs("1,x,3", 3); err == nil {
 		t.Error("non-numeric accepted")

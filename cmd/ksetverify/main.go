@@ -23,13 +23,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 
 	"kset/internal/adversary"
 	"kset/internal/harness"
 	"kset/internal/prng"
+	"kset/internal/shrink"
 	"kset/internal/sweep"
 	"kset/internal/theory"
+	"kset/internal/trace"
 )
 
 func main() {
@@ -50,11 +54,17 @@ func run(args []string, out io.Writer) error {
 		seed          = fs.Uint64("seed", 1, "sweep seed")
 		constructions = fs.Bool("constructions", false, "run only the impossibility constructions")
 		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "worker threads for sweeps (output is identical for any count)")
+		saveFailures  = fs.String("save-failures", "", "directory to write shrunk .ktr trace artifacts for every sweep violation (replay with ksetreplay)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	exec := executorFor(*workers)
+	if *saveFailures != "" {
+		if err := os.MkdirAll(*saveFailures, 0o755); err != nil {
+			return err
+		}
+	}
 
 	if *constructions {
 		return runConstructions(out, *n, exec)
@@ -75,7 +85,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "=== Figure %d (%s, n=%d) ===\n", f.Number, f.Model, *n)
 		// One shared classifier pass covers all six validity panels.
 		for _, g := range theory.ComputeFigure(f.Model, *n) {
-			failures += validatePanel(out, g, *runs, *samples, *seed, exec)
+			failures += validatePanel(out, g, *runs, *samples, *seed, exec, *saveFailures)
 		}
 		fmt.Fprintln(out)
 	}
@@ -100,7 +110,7 @@ func executorFor(workers int) harness.Executor {
 // in canonical order), execute (fan cell sweeps across the executor), render
 // (print results in plan order) — so the output never depends on worker
 // count.
-func validatePanel(out io.Writer, g *theory.Grid, runs, samples int, seed uint64, exec harness.Executor) int {
+func validatePanel(out io.Writer, g *theory.Grid, runs, samples int, seed uint64, exec harness.Executor, saveDir string) int {
 	n := g.N
 	s, i, o := g.Count()
 	fmt.Fprintf(out, "%-4s panel: %4d solvable / %4d impossible / %3d open cells\n", g.Validity, s, i, o)
@@ -154,6 +164,13 @@ func validatePanel(out io.Writer, g *theory.Grid, runs, samples int, seed uint64
 		if !sum.OK() {
 			for _, viol := range sum.Violations {
 				fmt.Fprintf(out, "       violation: %v\n", viol.Err)
+				if saveDir != "" {
+					if path, err := saveFailure(saveDir, g, c, viol.Seed); err != nil {
+						fmt.Fprintf(out, "       save failed: %v\n", err)
+					} else {
+						fmt.Fprintf(out, "       saved: %s\n", path)
+					}
+				}
 			}
 			for _, e := range sum.RunErrors {
 				fmt.Fprintf(out, "       run error: %v\n", e.Err)
@@ -161,6 +178,37 @@ func validatePanel(out io.Writer, g *theory.Grid, runs, samples int, seed uint64
 		}
 	}
 	return failures
+}
+
+// saveFailure captures the violating run as a trace artifact, shrinks it to
+// a minimal counterexample that still exhibits the same condition, and
+// writes it under dir. The shrink runs serially — its determinism guarantee
+// makes worker counts irrelevant to the artifact, and failure capture is off
+// the hot path.
+func saveFailure(dir string, g *theory.Grid, c theory.CellPoint, runSeed uint64) (string, error) {
+	tr, _, err := harness.CaptureCellRun(g.Model, g.Validity, g.N, c.K, c.T, runSeed)
+	if err != nil {
+		return "", err
+	}
+	if !tr.Verdict.OK {
+		if min, _, err := shrink.Minimize(tr, shrink.Options{}); err == nil {
+			tr = min
+		}
+		// A shrink error means the capture is flaky; save the unshrunk
+		// artifact so the evidence survives.
+	}
+	data, err := trace.Encode(tr)
+	if err != nil {
+		return "", err
+	}
+	model := strings.ReplaceAll(strings.ToLower(g.Model.String()), "/", "-")
+	name := fmt.Sprintf("%s-%s-n%d-k%d-t%d-seed%d.ktr",
+		model, strings.ToLower(g.Validity.String()), g.N, c.K, c.T, runSeed)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // runConstructions executes each scripted counterexample at a representative

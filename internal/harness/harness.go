@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"kset/internal/prng"
+	"kset/internal/trace"
 	"kset/internal/types"
 )
 
@@ -33,6 +34,10 @@ type planScratch struct {
 	faulty []bool
 	perm   []int
 	inputs []types.Value
+	// byz collects the serializable Byzantine specs of the last planned
+	// scenario, so Capture can store them in a trace artifact without the
+	// hot path paying for a fresh slice per run.
+	byz []trace.ByzSpec
 }
 
 // faultyFor returns a cleared faulty vector of length n, reusing capacity.

@@ -7,6 +7,7 @@ import (
 	"kset/internal/checker"
 	"kset/internal/mpnet"
 	"kset/internal/prng"
+	"kset/internal/trace"
 	"kset/internal/types"
 )
 
@@ -41,6 +42,9 @@ type MPSweep struct {
 	// pure function of its pre-drawn seed, and the summary is merged in run
 	// order, so the result is identical for any Executor.
 	Exec Executor
+	// Spec is the serializable identity of NewProtocol, required only by
+	// Capture (trace artifacts store the spec, not the factory).
+	Spec trace.ProtocolSpec
 }
 
 // runResult is one run's outcome, held in a run-indexed slot until the
@@ -161,15 +165,22 @@ func (s *MPSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64, s
 	}
 
 	advName := "none"
+	sc.byz = sc.byz[:0]
 	if s.Byzantine {
 		cfg.Byzantine = make(map[types.ProcessID]mpnet.Protocol, f)
 		for i := 0; i < n; i++ {
 			if !faulty[i] {
 				continue
 			}
-			strat, name := randomByzStrategy(n, rng)
-			cfg.Byzantine[types.ProcessID(i)] = strat
-			advName = name // last one labels the scenario
+			spec := randomByzSpec(types.ProcessID(i), n, rng)
+			strat, err := spec.MPProtocol()
+			if err != nil {
+				// Generated specs always materialize; anything else is a bug.
+				panic(err)
+			}
+			cfg.Byzantine[spec.Proc] = strat
+			sc.byz = append(sc.byz, spec)
+			advName = spec.Kind // last one labels the scenario
 		}
 		if f == 0 {
 			advName = "none"
@@ -220,28 +231,48 @@ func randomPartitionGate(n int, rng *prng.Source, sc *planScratch) *mpnet.GroupG
 	return mpnet.NewGroupGate(n, groups)
 }
 
-// randomByzStrategy picks one Byzantine strategy with random parameters.
-func randomByzStrategy(n int, rng *prng.Source) (mpnet.Protocol, string) {
-	personas := func() map[types.ProcessID]types.Value {
-		m := make(map[types.ProcessID]types.Value, n)
+// randomByzSpec draws one Byzantine strategy with random parameters, in
+// serializable form. The draw sequence is the historical randomByzStrategy
+// one, so seeded sweeps plan byte-identical scenarios.
+func randomByzSpec(p types.ProcessID, n int, rng *prng.Source) trace.ByzSpec {
+	personas := func() []types.Value {
+		vs := make([]types.Value, n)
 		domain := rng.Intn(4) + 2
-		for i := 0; i < n; i++ {
-			m[types.ProcessID(i)] = types.Value(rng.Intn(domain) + 1)
+		for i := range vs {
+			vs[i] = types.Value(rng.Intn(domain) + 1)
 		}
-		return m
+		return vs
 	}
 	switch rng.Intn(5) {
 	case 0:
-		return adversary.Silent{}, "silent"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzSilent}
 	case 1:
-		return adversary.NewPersonaInput(personas(), 1), "persona-input"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzPersonaInput, Personas: personas(), Default: 1}
 	case 2:
-		return adversary.NewPersonaEcho(personas(), 1), "persona-echo"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzPersonaEcho, Personas: personas(), Default: 1}
 	case 3:
-		return adversary.NewEchoSplitter(types.Value(rng.Intn(100))), "echo-splitter"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzEchoSplitter, Shift: types.Value(rng.Intn(100))}
 	default:
-		return adversary.NewRandomNoise(rng.Intn(3) + 1), "random-noise"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzRandomNoise, Burst: rng.Intn(3) + 1, Max: 256}
 	}
+}
+
+// Capture re-derives the scenario Execute ran for one of its per-run seeds
+// (a Summary outcome's Seed field) and re-executes it with recording on,
+// returning the portable trace artifact plus the fresh run record. Requires
+// Spec to be set.
+func (s *MPSweep) Capture(runSeed uint64) (*trace.Trace, *types.RunRecord, error) {
+	if s.Spec.Zero() {
+		return nil, nil, fmt.Errorf("harness: sweep %q has no protocol spec to capture", s.Name)
+	}
+	patterns := s.Patterns
+	if len(patterns) == 0 {
+		patterns = AllPatterns()
+	}
+	var sc planScratch
+	rng := prng.New(runSeed)
+	cfg, _ := s.plan(rng, patterns, runSeed, &sc)
+	return trace.CaptureMP(cfg, s.Validity, s.Spec, sc.byz)
 }
 
 // RunConstruction executes one scripted counterexample and returns the first

@@ -5,10 +5,9 @@ import (
 	"fmt"
 
 	"kset/internal/mpnet"
-	"kset/internal/protocols/mp"
-	"kset/internal/protocols/sm"
 	"kset/internal/smmem"
 	"kset/internal/theory"
+	"kset/internal/trace"
 	"kset/internal/types"
 )
 
@@ -17,35 +16,18 @@ import (
 var ErrNoWitness = errors.New("harness: classification has no witness protocol")
 
 // MPFactory builds the per-process protocol factory for the witness protocol
-// of a solvable message-passing cell. The t parameter is needed by Protocol
-// D's proof-count variant; pass the cell's t.
+// of a solvable message-passing cell. The construction itself lives with the
+// trace artifact's ProtocolSpec so that replayed artifacts and live sweeps
+// instantiate witnesses through the same code path.
 func MPFactory(r theory.Result) (func(types.ProcessID) mpnet.Protocol, error) {
 	if r.Status != theory.Solvable || r.ViaSimulation {
 		return nil, fmt.Errorf("%w: %s %q", ErrNoWitness, r.Status, r.Protocol)
 	}
-	return mpFactoryByID(r.Proto, r.EchoEll)
-}
-
-func mpFactoryByID(id theory.ProtocolID, ell int) (func(types.ProcessID) mpnet.Protocol, error) {
-	switch id {
-	case theory.ProtoTrivial:
-		return func(types.ProcessID) mpnet.Protocol { return mp.NewTrivial() }, nil
-	case theory.ProtoFloodMin:
-		return func(types.ProcessID) mpnet.Protocol { return mp.NewFloodMin() }, nil
-	case theory.ProtoA:
-		return func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolA() }, nil
-	case theory.ProtoB:
-		return func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolB() }, nil
-	case theory.ProtoC:
-		if ell < 1 {
-			return nil, fmt.Errorf("%w: Protocol C needs l >= 1, got %d", ErrNoWitness, ell)
-		}
-		return func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolC(ell) }, nil
-	case theory.ProtoD:
-		return func(types.ProcessID) mpnet.Protocol { return mp.NewProtocolD() }, nil
-	default:
-		return nil, fmt.Errorf("%w: %v is not a message-passing protocol", ErrNoWitness, id)
+	f, err := trace.SpecFor(r).MPFactory()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoWitness, err)
 	}
+	return f, nil
 }
 
 // SMFactory builds the per-process protocol factory for the witness protocol
@@ -55,20 +37,46 @@ func SMFactory(r theory.Result) (func(types.ProcessID) smmem.Protocol, error) {
 	if r.Status != theory.Solvable {
 		return nil, fmt.Errorf("%w: %s", ErrNoWitness, r.Status)
 	}
-	if r.ViaSimulation {
-		inner, err := mpFactoryByID(r.Proto, r.EchoEll)
-		if err != nil {
-			return nil, err
-		}
-		return func(id types.ProcessID) smmem.Protocol { return sm.NewSimulation(inner(id)) }, nil
+	f, err := trace.SpecFor(r).SMFactory()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoWitness, err)
 	}
-	switch r.Proto {
-	case theory.ProtoE:
-		return func(types.ProcessID) smmem.Protocol { return sm.NewProtocolE() }, nil
-	case theory.ProtoF:
-		return func(types.ProcessID) smmem.Protocol { return sm.NewProtocolF() }, nil
+	return f, nil
+}
+
+// CaptureCellRun re-derives one run of a solvable cell's randomized sweep —
+// identified by the per-run seed a Summary outcome records — and re-executes
+// it with recording on, returning the portable trace artifact. This is how
+// cmd/ksetverify turns a sweep violation into a replayable artifact.
+func CaptureCellRun(m types.Model, v types.Validity, n, k, t int, runSeed uint64) (*trace.Trace, *types.RunRecord, error) {
+	r := theory.Classify(m, v, n, k, t)
+	if r.Status != theory.Solvable {
+		return nil, nil, fmt.Errorf("%w: cell %v/%v n=%d k=%d t=%d is %v", ErrNoWitness, m, v, n, k, t, r.Status)
+	}
+	byz := m.Failure == types.Byzantine
+	switch m.Comm {
+	case types.MessagePassing:
+		factory, err := MPFactory(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := &MPSweep{
+			N: n, K: k, T: t, Validity: v,
+			NewProtocol: factory, Byzantine: byz, Spec: trace.SpecFor(r),
+		}
+		return s.Capture(runSeed)
+	case types.SharedMemory:
+		factory, err := SMFactory(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := &SMSweep{
+			N: n, K: k, T: t, Validity: v,
+			NewProtocol: factory, Byzantine: byz, Spec: trace.SpecFor(r),
+		}
+		return s.Capture(runSeed)
 	default:
-		return nil, fmt.Errorf("%w: %v is not a shared-memory protocol", ErrNoWitness, r.Proto)
+		return nil, nil, fmt.Errorf("%w: %v", types.ErrUnknownModel, m)
 	}
 }
 
@@ -101,6 +109,7 @@ func ValidateCellExec(m types.Model, v types.Validity, n, k, t, runs int, seed u
 			Runs:        runs,
 			BaseSeed:    seed,
 			Exec:        exec,
+			Spec:        trace.SpecFor(r),
 		}
 		return s.Execute(), nil
 	case types.SharedMemory:
@@ -115,6 +124,7 @@ func ValidateCellExec(m types.Model, v types.Validity, n, k, t, runs int, seed u
 			Runs:        runs,
 			BaseSeed:    seed,
 			Exec:        exec,
+			Spec:        trace.SpecFor(r),
 		}
 		return s.Execute(), nil
 	default:

@@ -7,6 +7,7 @@ import (
 	"kset/internal/checker"
 	"kset/internal/prng"
 	"kset/internal/smmem"
+	"kset/internal/trace"
 	"kset/internal/types"
 )
 
@@ -36,6 +37,9 @@ type SMSweep struct {
 	// pre-drawn and the summary merged in run order, so the result is
 	// identical for any Executor.
 	Exec Executor
+	// Spec is the serializable identity of NewProtocol, required only by
+	// Capture (trace artifacts store the spec, not the factory).
+	Spec trace.ProtocolSpec
 }
 
 // Execute runs the sweep.
@@ -172,12 +176,19 @@ func (s *SMSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64, s
 	}
 
 	advName := "none"
+	sc.byz = sc.byz[:0]
 	if s.Byzantine {
 		cfg.Byzantine = make(map[types.ProcessID]smmem.Protocol, f)
 		for _, id := range faultyIDs {
-			strat, name := randomSMByzStrategy(n, rng)
+			spec := randomSMByzSpec(id, n, rng)
+			strat, err := spec.SMProtocol()
+			if err != nil {
+				// Generated specs always materialize; anything else is a bug.
+				panic(err)
+			}
 			cfg.Byzantine[id] = strat
-			advName = name
+			sc.byz = append(sc.byz, spec)
+			advName = spec.Kind
 		}
 		if f == 0 {
 			advName = "none"
@@ -201,29 +212,48 @@ func (s *SMSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64, s
 	return cfg, scenario
 }
 
-// randomSMByzStrategy picks one shared-memory Byzantine strategy: a native
-// garbage writer, or a simulated message-passing attack run through the
-// paper's SIMULATION transformation.
-func randomSMByzStrategy(n int, rng *prng.Source) (smmem.Protocol, string) {
+// randomSMByzSpec draws one shared-memory Byzantine strategy in serializable
+// form: a native garbage writer, or a simulated message-passing attack run
+// through the paper's SIMULATION transformation. The draw sequence is the
+// historical randomSMByzStrategy one, so seeded sweeps plan byte-identical
+// scenarios.
+func randomSMByzSpec(p types.ProcessID, n int, rng *prng.Source) trace.ByzSpec {
 	switch rng.Intn(4) {
 	case 0:
-		return adversary.NewGarbageWriter(rng.Intn(64) + 16), "garbage-writer"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzGarbageWriter, Rounds: rng.Intn(64) + 16}
 	case 1:
-		personas := make(map[types.ProcessID]types.Value, n)
+		personas := make([]types.Value, n)
 		domain := rng.Intn(4) + 2
-		for i := 0; i < n; i++ {
-			personas[types.ProcessID(i)] = types.Value(rng.Intn(domain) + 1)
+		for i := range personas {
+			personas[i] = types.Value(rng.Intn(domain) + 1)
 		}
-		return adversary.SMPersona(adversary.NewPersonaInput(personas, 1)), "sim-persona-input"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzSimPersonaInput, Personas: personas, Default: 1}
 	case 2:
-		personas := make(map[types.ProcessID]types.Value, n)
-		for i := 0; i < n; i++ {
-			personas[types.ProcessID(i)] = types.Value(rng.Intn(3) + 1)
+		personas := make([]types.Value, n)
+		for i := range personas {
+			personas[i] = types.Value(rng.Intn(3) + 1)
 		}
-		return adversary.SMPersona(adversary.NewPersonaEcho(personas, 1)), "sim-persona-echo"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzSimPersonaEcho, Personas: personas, Default: 1}
 	default:
-		return adversary.SMPersona(adversary.Silent{}), "sim-silent"
+		return trace.ByzSpec{Proc: p, Kind: trace.ByzSimSilent}
 	}
+}
+
+// Capture re-derives the scenario Execute ran for one of its per-run seeds
+// and re-executes it with recording on, returning the portable trace
+// artifact plus the fresh run record. Requires Spec to be set.
+func (s *SMSweep) Capture(runSeed uint64) (*trace.Trace, *types.RunRecord, error) {
+	if s.Spec.Zero() {
+		return nil, nil, fmt.Errorf("harness: sweep %q has no protocol spec to capture", s.Name)
+	}
+	patterns := s.Patterns
+	if len(patterns) == 0 {
+		patterns = AllPatterns()
+	}
+	var sc planScratch
+	rng := prng.New(runSeed)
+	cfg, _ := s.plan(rng, patterns, runSeed, &sc)
+	return trace.CaptureSM(cfg, s.Validity, s.Spec, sc.byz)
 }
 
 // RunSMConstruction executes one scripted shared-memory counterexample and

@@ -85,6 +85,8 @@ func DefaultScopes() map[string][]string {
 		"kset/internal/theory",
 		"kset/internal/harness",
 		"kset/internal/report",
+		"kset/internal/trace",
+		"kset/internal/shrink",
 	}
 	return map[string][]string{
 		"determinism": deterministic,

@@ -55,6 +55,10 @@ type Config struct {
 	// Trace, if non-nil, observes every event (sends, deliveries, crashes,
 	// decisions).
 	Trace func(TraceEvent)
+
+	// Recorder, if non-nil, observes the run's scheduling decisions (picks
+	// and crash points) for later replay. See internal/trace.
+	Recorder Recorder
 }
 
 // Errors reported by Run for misconfigured or buggy setups (as opposed to
@@ -298,6 +302,9 @@ func (rt *runtime) send(from *process, to types.ProcessID, payload types.Payload
 	}
 	if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(from) &&
 		adv.CrashDuringSend(&rt.view, from.id, to, from.sends) {
+		if r := rt.cfg.Recorder; r != nil {
+			r.CrashAtSend(from.id, from.sends)
+		}
 		rt.crash(from)
 		return
 	}
@@ -356,6 +363,9 @@ func (rt *runtime) run() error {
 	for _, p := range rt.procs {
 		if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(p) &&
 			adv.CrashBeforeDeliver(&rt.view, p.id, p.events) {
+			if r := rt.cfg.Recorder; r != nil {
+				r.CrashAtEvent(p.id, p.events)
+			}
 			rt.crash(p)
 			continue
 		}
@@ -390,6 +400,9 @@ func (rt *runtime) run() error {
 		last := len(rt.inflight) - 1
 		rt.inflight[idx] = rt.inflight[last]
 		rt.inflight = rt.inflight[:last]
+		if r := rt.cfg.Recorder; r != nil {
+			r.Pick(env.Seq)
+		}
 
 		p := rt.procs[env.To]
 		if p.crashed || rt.halted(p) {
@@ -397,6 +410,9 @@ func (rt *runtime) run() error {
 		}
 		if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(p) &&
 			adv.CrashBeforeDeliver(&rt.view, p.id, p.events) {
+			if r := rt.cfg.Recorder; r != nil {
+				r.CrashAtEvent(p.id, p.events)
+			}
 			rt.crash(p)
 			continue
 		}

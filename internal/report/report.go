@@ -65,6 +65,7 @@ func Run(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "# k-set consensus reproduction report\n\n")
 	fmt.Fprintf(w, "Parameters: sweeps at n=%d (%d runs x %d cells per panel), region tables at n=%d, seed %d.\n\n",
 		cfg.N, cfg.Runs, cfg.Samples, cfg.GridN, cfg.Seed)
+	fmt.Fprintf(w, "Every violation reported below can be captured as a replayable `.ktr` trace\nartifact and minimized with `ksetreplay -shrink`; see `docs/replay.md`.\n\n")
 
 	writeLattice(w)
 	writeGridTables(w, cfg.GridN, exec)

@@ -58,6 +58,10 @@ type Config struct {
 
 	// Trace, if non-nil, observes every operation, decision and crash.
 	Trace func(TraceEvent)
+
+	// Recorder, if non-nil, observes the run's scheduling decisions (grants
+	// and crash points) for later replay. See internal/trace.
+	Recorder Recorder
 }
 
 // Errors reported by Run for misconfigured or buggy setups.
@@ -456,11 +460,17 @@ func (rt *smRuntime) run() {
 			haltAll()
 			break
 		}
+		if r := rt.cfg.Recorder; r != nil {
+			r.Grant(pid)
+		}
 		req := pendingReq[pid]
 		p := rt.procs[pid]
 
 		if adv := rt.cfg.Crash; adv != nil && rt.mayCrash(p) &&
 			adv.CrashBeforeOp(&rt.view, pid, p.ops) {
+			if r := rt.cfg.Recorder; r != nil {
+				r.CrashAtOp(pid, p.ops)
+			}
 			p.crashed = true
 			rt.view.Crashed[pid] = true
 			rt.view.Faulty[pid] = true

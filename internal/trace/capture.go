@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+
+	"kset/internal/mpnet"
+	"kset/internal/smmem"
+	"kset/internal/types"
+)
+
+// MPRecorder captures the decision stream of one message-passing run. Attach
+// it to Config.Recorder, run, then fold the captured schedule and crash
+// points into a Trace (CaptureMP does both).
+type MPRecorder struct {
+	// Schedule is the picked envelope sequence number per main-loop step.
+	Schedule []int
+	// Crashes are the crash points in firing order.
+	Crashes []CrashSpec
+}
+
+var _ mpnet.Recorder = (*MPRecorder)(nil)
+
+// Pick implements mpnet.Recorder.
+func (r *MPRecorder) Pick(seq int) { r.Schedule = append(r.Schedule, seq) }
+
+// CrashAtEvent implements mpnet.Recorder.
+func (r *MPRecorder) CrashAtEvent(p types.ProcessID, events int) {
+	r.Crashes = append(r.Crashes, CrashSpec{Proc: p, Kind: CrashAtEvent, Index: events})
+}
+
+// CrashAtSend implements mpnet.Recorder.
+func (r *MPRecorder) CrashAtSend(p types.ProcessID, sends int) {
+	r.Crashes = append(r.Crashes, CrashSpec{Proc: p, Kind: CrashAtSend, Index: sends})
+}
+
+// SMRecorder captures the decision stream of one shared-memory run.
+type SMRecorder struct {
+	// Schedule is the granted process id per operation step.
+	Schedule []int
+	// Crashes are the crash points in firing order.
+	Crashes []CrashSpec
+}
+
+var _ smmem.Recorder = (*SMRecorder)(nil)
+
+// Grant implements smmem.Recorder.
+func (r *SMRecorder) Grant(p types.ProcessID) { r.Schedule = append(r.Schedule, int(p)) }
+
+// CrashAtOp implements smmem.Recorder.
+func (r *SMRecorder) CrashAtOp(p types.ProcessID, ops int) {
+	r.Crashes = append(r.Crashes, CrashSpec{Proc: p, Kind: CrashAtOp, Index: ops})
+}
+
+// CaptureMP executes a message-passing run with recording on and folds it
+// into a portable artifact. cfg carries the run exactly as the caller would
+// execute it (original scheduler, crash adversary and Byzantine protocols);
+// validity selects the checked condition; spec and byz are the serializable
+// descriptions of cfg.NewProtocol and cfg.Byzantine, which the artifact
+// stores in place of the opaque values. The run record is returned alongside
+// so callers can reuse it.
+func CaptureMP(cfg mpnet.Config, validity types.Validity, spec ProtocolSpec, byz []ByzSpec) (*Trace, *types.RunRecord, error) {
+	rec := &MPRecorder{}
+	cfg.Recorder = rec
+	record, err := mpnet.Run(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: capture run: %w", err)
+	}
+	t := &Trace{
+		Version:      Version,
+		Model:        record.Model,
+		Validity:     validity,
+		N:            cfg.N,
+		K:            cfg.K,
+		T:            cfg.T,
+		Seed:         cfg.Seed,
+		Budget:       cfg.MaxEvents,
+		HaltOnDecide: cfg.HaltOnDecide,
+		Protocol:     spec,
+		Inputs:       append([]types.Value(nil), cfg.Inputs...),
+		Byzantine:    append([]ByzSpec(nil), byz...),
+		Crashes:      rec.Crashes,
+		Schedule:     rec.Schedule,
+		Verdict:      VerdictOf(record, validity),
+	}
+	sortFaults(t.Byzantine, t.Crashes)
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, record, nil
+}
+
+// CaptureSM is CaptureMP for the shared-memory runtime.
+func CaptureSM(cfg smmem.Config, validity types.Validity, spec ProtocolSpec, byz []ByzSpec) (*Trace, *types.RunRecord, error) {
+	rec := &SMRecorder{}
+	cfg.Recorder = rec
+	record, err := smmem.Run(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: capture run: %w", err)
+	}
+	t := &Trace{
+		Version:   Version,
+		Model:     record.Model,
+		Validity:  validity,
+		N:         cfg.N,
+		K:         cfg.K,
+		T:         cfg.T,
+		Seed:      cfg.Seed,
+		Budget:    cfg.MaxOps,
+		Protocol:  spec,
+		Inputs:    append([]types.Value(nil), cfg.Inputs...),
+		Byzantine: append([]ByzSpec(nil), byz...),
+		Crashes:   rec.Crashes,
+		Schedule:  rec.Schedule,
+		Verdict:   VerdictOf(record, validity),
+	}
+	sortFaults(t.Byzantine, t.Crashes)
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, record, nil
+}

@@ -1,0 +1,477 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// The canonical text format, line by line and in this exact order:
+//
+//	ksettrace v1
+//	model mp/byz
+//	validity sv1
+//	n 6
+//	k 2
+//	t 1
+//	seed 12345
+//	budget 0
+//	halt-on-decide false
+//	protocol c ell=2
+//	inputs 3,1,4,1,5,-1
+//	byz 5 persona-echo default=0 personas=0,1,0,1,0,1
+//	crash 2 at-event 7
+//	schedule 0,4,2,9,...            (chunks of scheduleChunk entries)
+//	verdict violation agreement correct processes decided ...
+//	end
+//
+// byz and crash lines are sorted by process id and appear zero or more
+// times; schedule lines appear zero or more times and concatenate. Every
+// other line appears exactly once, in order. Encoding is canonical: two
+// equal artifacts encode to identical bytes, which the fuzz targets and the
+// shrinker's byte-identity regression test rely on.
+
+// scheduleChunk is how many schedule entries go on one line, keeping
+// artifacts diffable without making them tall.
+const scheduleChunk = 16
+
+// header is the first line of every artifact.
+const header = "ksettrace v1"
+
+// protocolToken maps a ProtocolID to its artifact token and back.
+var protocolTokens = []struct {
+	id    theory.ProtocolID
+	token string
+}{
+	{theory.ProtoTrivial, "trivial"},
+	{theory.ProtoFloodMin, "floodmin"},
+	{theory.ProtoA, "a"},
+	{theory.ProtoB, "b"},
+	{theory.ProtoC, "c"},
+	{theory.ProtoD, "d"},
+	{theory.ProtoE, "e"},
+	{theory.ProtoF, "f"},
+}
+
+func protocolToken(id theory.ProtocolID) (string, bool) {
+	for _, pt := range protocolTokens {
+		if pt.id == id {
+			return pt.token, true
+		}
+	}
+	return "", false
+}
+
+func parseProtocolToken(tok string) (theory.ProtocolID, bool) {
+	for _, pt := range protocolTokens {
+		if pt.token == tok {
+			return pt.id, true
+		}
+	}
+	return theory.ProtoNone, false
+}
+
+// Encode renders the artifact in the canonical text format. It fails if the
+// artifact does not Validate, so every encoded artifact is well-formed.
+func Encode(t *Trace) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", header)
+	fmt.Fprintf(&b, "model %s\n", strings.ToLower(t.Model.String()))
+	fmt.Fprintf(&b, "validity %s\n", strings.ToLower(t.Validity.String()))
+	fmt.Fprintf(&b, "n %d\n", t.N)
+	fmt.Fprintf(&b, "k %d\n", t.K)
+	fmt.Fprintf(&b, "t %d\n", t.T)
+	fmt.Fprintf(&b, "seed %d\n", t.Seed)
+	fmt.Fprintf(&b, "budget %d\n", t.Budget)
+	fmt.Fprintf(&b, "halt-on-decide %t\n", t.HaltOnDecide)
+	tok, ok := protocolToken(t.Protocol.Proto)
+	if !ok {
+		return nil, fmt.Errorf("%w: protocol %v has no token", ErrBadTrace, t.Protocol.Proto)
+	}
+	b.WriteString("protocol " + tok)
+	if t.Protocol.Ell != 0 {
+		fmt.Fprintf(&b, " ell=%d", t.Protocol.Ell)
+	}
+	if t.Protocol.Sim {
+		b.WriteString(" sim")
+	}
+	b.WriteByte('\n')
+	b.WriteString("inputs ")
+	writeValues(&b, t.Inputs)
+	b.WriteByte('\n')
+	for _, bz := range t.Byzantine {
+		if err := encodeByz(&b, bz); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range t.Crashes {
+		fmt.Fprintf(&b, "crash %d %s %d\n", c.Proc, c.Kind, c.Index)
+	}
+	for i := 0; i < len(t.Schedule); i += scheduleChunk {
+		end := i + scheduleChunk
+		if end > len(t.Schedule) {
+			end = len(t.Schedule)
+		}
+		b.WriteString("schedule ")
+		writeInts(&b, t.Schedule[i:end])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "verdict %s\n", t.Verdict)
+	b.WriteString("end\n")
+	return []byte(b.String()), nil
+}
+
+func encodeByz(b *strings.Builder, bz ByzSpec) error {
+	fmt.Fprintf(b, "byz %d %s", bz.Proc, bz.Kind)
+	switch bz.Kind {
+	case ByzSilent, ByzSimSilent:
+	case ByzPersonaInput, ByzPersonaEcho, ByzSimPersonaInput, ByzSimPersonaEcho:
+		fmt.Fprintf(b, " default=%d personas=", bz.Default)
+		writeValues(b, bz.Personas)
+	case ByzEchoSplitter:
+		fmt.Fprintf(b, " shift=%d", bz.Shift)
+	case ByzRandomNoise:
+		fmt.Fprintf(b, " burst=%d max=%d", bz.Burst, bz.Max)
+	case ByzGarbageWriter:
+		fmt.Fprintf(b, " rounds=%d", bz.Rounds)
+	default:
+		return fmt.Errorf("%w: unknown Byzantine kind %q", ErrBadTrace, bz.Kind)
+	}
+	b.WriteByte('\n')
+	return nil
+}
+
+func writeValues(b *strings.Builder, vs []types.Value) {
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(v), 10))
+	}
+}
+
+func writeInts(b *strings.Builder, vs []int) {
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+}
+
+// decoder walks the artifact line by line.
+type decoder struct {
+	lines []string
+	pos   int
+}
+
+func (d *decoder) next() (string, bool) {
+	if d.pos >= len(d.lines) {
+		return "", false
+	}
+	l := d.lines[d.pos]
+	d.pos++
+	return l, true
+}
+
+func (d *decoder) peek() (string, bool) {
+	if d.pos >= len(d.lines) {
+		return "", false
+	}
+	return d.lines[d.pos], true
+}
+
+// expect consumes the next line and returns its payload after the given
+// field prefix.
+func (d *decoder) expect(field string) (string, error) {
+	l, ok := d.next()
+	if !ok {
+		return "", fmt.Errorf("%w: truncated before %q line", ErrBadTrace, field)
+	}
+	rest, ok := strings.CutPrefix(l, field+" ")
+	if !ok {
+		return "", fmt.Errorf("%w: line %d: want %q field, got %q", ErrBadTrace, d.pos, field, l)
+	}
+	return rest, nil
+}
+
+func (d *decoder) expectInt(field string) (int, error) {
+	s, err := d.expect(field)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: line %d: bad %s %q", ErrBadTrace, d.pos, field, s)
+	}
+	return v, nil
+}
+
+// Decode parses the canonical text format. It never panics on malformed
+// input and always returns a Validate-clean artifact or an error.
+func Decode(data []byte) (*Trace, error) {
+	lines := strings.Split(string(data), "\n")
+	// A well-formed artifact ends with "end\n", leaving one empty trailing
+	// element after Split.
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	d := &decoder{lines: lines}
+	if l, ok := d.next(); !ok || l != header {
+		return nil, fmt.Errorf("%w: missing %q header", ErrBadTrace, header)
+	}
+	t := &Trace{Version: Version}
+	var err error
+	var s string
+	if s, err = d.expect("model"); err != nil {
+		return nil, err
+	}
+	if t.Model, err = types.ParseModel(s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if s, err = d.expect("validity"); err != nil {
+		return nil, err
+	}
+	if t.Validity, err = types.ParseValidity(s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if t.N, err = d.expectInt("n"); err != nil {
+		return nil, err
+	}
+	if t.K, err = d.expectInt("k"); err != nil {
+		return nil, err
+	}
+	if t.T, err = d.expectInt("t"); err != nil {
+		return nil, err
+	}
+	if s, err = d.expect("seed"); err != nil {
+		return nil, err
+	}
+	if t.Seed, err = strconv.ParseUint(s, 10, 64); err != nil {
+		return nil, fmt.Errorf("%w: bad seed %q", ErrBadTrace, s)
+	}
+	if t.Budget, err = d.expectInt("budget"); err != nil {
+		return nil, err
+	}
+	if s, err = d.expect("halt-on-decide"); err != nil {
+		return nil, err
+	}
+	if t.HaltOnDecide, err = strconv.ParseBool(s); err != nil {
+		return nil, fmt.Errorf("%w: bad halt-on-decide %q", ErrBadTrace, s)
+	}
+	if s, err = d.expect("protocol"); err != nil {
+		return nil, err
+	}
+	if t.Protocol, err = parseProtocol(s); err != nil {
+		return nil, err
+	}
+	if s, err = d.expect("inputs"); err != nil {
+		return nil, err
+	}
+	if t.Inputs, err = parseValues(s); err != nil {
+		return nil, err
+	}
+	for {
+		l, ok := d.peek()
+		if !ok || !strings.HasPrefix(l, "byz ") {
+			break
+		}
+		d.pos++
+		bz, err := parseByz(strings.TrimPrefix(l, "byz "))
+		if err != nil {
+			return nil, err
+		}
+		t.Byzantine = append(t.Byzantine, bz)
+	}
+	for {
+		l, ok := d.peek()
+		if !ok || !strings.HasPrefix(l, "crash ") {
+			break
+		}
+		d.pos++
+		c, err := parseCrash(strings.TrimPrefix(l, "crash "))
+		if err != nil {
+			return nil, err
+		}
+		t.Crashes = append(t.Crashes, c)
+	}
+	for {
+		l, ok := d.peek()
+		if !ok || !strings.HasPrefix(l, "schedule ") {
+			break
+		}
+		d.pos++
+		chunk, err := parseInts(strings.TrimPrefix(l, "schedule "))
+		if err != nil {
+			return nil, err
+		}
+		t.Schedule = append(t.Schedule, chunk...)
+	}
+	if s, err = d.expect("verdict"); err != nil {
+		return nil, err
+	}
+	if t.Verdict, err = parseVerdict(s); err != nil {
+		return nil, err
+	}
+	if l, ok := d.next(); !ok || l != "end" {
+		return nil, fmt.Errorf("%w: missing \"end\" trailer", ErrBadTrace)
+	}
+	if l, ok := d.next(); ok {
+		return nil, fmt.Errorf("%w: trailing content %q after \"end\"", ErrBadTrace, l)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseProtocol(s string) (ProtocolSpec, error) {
+	fields := strings.Split(s, " ")
+	id, ok := parseProtocolToken(fields[0])
+	if !ok {
+		return ProtocolSpec{}, fmt.Errorf("%w: unknown protocol %q", ErrBadTrace, fields[0])
+	}
+	spec := ProtocolSpec{Proto: id}
+	for _, f := range fields[1:] {
+		switch {
+		case f == "sim":
+			spec.Sim = true
+		case strings.HasPrefix(f, "ell="):
+			ell, err := strconv.Atoi(strings.TrimPrefix(f, "ell="))
+			if err != nil {
+				return ProtocolSpec{}, fmt.Errorf("%w: bad protocol field %q", ErrBadTrace, f)
+			}
+			spec.Ell = ell
+		default:
+			return ProtocolSpec{}, fmt.Errorf("%w: bad protocol field %q", ErrBadTrace, f)
+		}
+	}
+	return spec, nil
+}
+
+func parseByz(s string) (ByzSpec, error) {
+	fields := strings.Split(s, " ")
+	if len(fields) < 2 {
+		return ByzSpec{}, fmt.Errorf("%w: bad byz line %q", ErrBadTrace, s)
+	}
+	pid, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return ByzSpec{}, fmt.Errorf("%w: bad byz process %q", ErrBadTrace, fields[0])
+	}
+	bz := ByzSpec{Proc: types.ProcessID(pid), Kind: fields[1]}
+	for _, f := range fields[2:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return ByzSpec{}, fmt.Errorf("%w: bad byz field %q", ErrBadTrace, f)
+		}
+		switch key {
+		case "personas":
+			if bz.Personas, err = parseValues(val); err != nil {
+				return ByzSpec{}, err
+			}
+			continue
+		}
+		iv, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return ByzSpec{}, fmt.Errorf("%w: bad byz field %q", ErrBadTrace, f)
+		}
+		switch key {
+		case "default":
+			bz.Default = types.Value(iv)
+		case "shift":
+			bz.Shift = types.Value(iv)
+		case "burst":
+			bz.Burst = int(iv)
+		case "max":
+			bz.Max = int(iv)
+		case "rounds":
+			bz.Rounds = int(iv)
+		default:
+			return ByzSpec{}, fmt.Errorf("%w: bad byz field %q", ErrBadTrace, f)
+		}
+	}
+	// Re-encoding must reproduce the input bytes, so reject kinds (and by
+	// extension field combinations) the encoder would not emit.
+	var probe strings.Builder
+	if err := encodeByz(&probe, bz); err != nil {
+		return ByzSpec{}, err
+	}
+	if probe.String() != "byz "+s+"\n" {
+		return ByzSpec{}, fmt.Errorf("%w: non-canonical byz line %q", ErrBadTrace, s)
+	}
+	return bz, nil
+}
+
+func parseCrash(s string) (CrashSpec, error) {
+	fields := strings.Split(s, " ")
+	if len(fields) != 3 {
+		return CrashSpec{}, fmt.Errorf("%w: bad crash line %q", ErrBadTrace, s)
+	}
+	pid, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return CrashSpec{}, fmt.Errorf("%w: bad crash process %q", ErrBadTrace, fields[0])
+	}
+	switch fields[1] {
+	case CrashAtEvent, CrashAtSend, CrashAtOp:
+	default:
+		return CrashSpec{}, fmt.Errorf("%w: bad crash kind %q", ErrBadTrace, fields[1])
+	}
+	idx, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return CrashSpec{}, fmt.Errorf("%w: bad crash index %q", ErrBadTrace, fields[2])
+	}
+	return CrashSpec{Proc: types.ProcessID(pid), Kind: fields[1], Index: idx}, nil
+}
+
+func parseVerdict(s string) (Verdict, error) {
+	if s == "ok" {
+		return Verdict{OK: true}, nil
+	}
+	rest, ok := strings.CutPrefix(s, "violation ")
+	if !ok {
+		return Verdict{}, fmt.Errorf("%w: bad verdict %q", ErrBadTrace, s)
+	}
+	cond, detail, ok := strings.Cut(rest, " ")
+	if !ok || cond == "" || detail == "" {
+		return Verdict{}, fmt.Errorf("%w: bad verdict %q", ErrBadTrace, s)
+	}
+	return Verdict{Condition: cond, Detail: detail}, nil
+}
+
+func parseValues(s string) ([]types.Value, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	vs := make([]types.Value, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad value %q", ErrBadTrace, p)
+		}
+		vs[i] = types.Value(v)
+	}
+	return vs, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty schedule line", ErrBadTrace)
+	}
+	parts := strings.Split(s, ",")
+	vs := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad schedule entry %q", ErrBadTrace, p)
+		}
+		vs[i] = v
+	}
+	return vs, nil
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+// seedArtifacts returns encoded traces used to seed both fuzz targets: a
+// couple of hand-built artifacts covering both communication media, plus
+// every checked-in corpus file.
+func seedArtifacts(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	mp := &Trace{
+		Version: Version, Model: types.MPByz, Validity: types.RV1,
+		N: 3, K: 2, T: 1, Seed: 7,
+		Protocol:  ProtocolSpec{Proto: theory.ProtoFloodMin},
+		Inputs:    []types.Value{1, 2, 3},
+		Byzantine: []ByzSpec{{Proc: 2, Kind: ByzSilent}},
+		Schedule:  []int{3, 1, 2},
+		Verdict:   Verdict{OK: true},
+	}
+	data, err := Encode(mp)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, data)
+	sm := &Trace{
+		Version: Version, Model: types.SMCR, Validity: types.WV1,
+		N: 2, K: 2, T: 1, Seed: 9,
+		Protocol: ProtocolSpec{Proto: theory.ProtoE},
+		Inputs:   []types.Value{5, 5},
+		Crashes:  []CrashSpec{{Proc: 1, Kind: CrashAtOp, Index: 4}},
+		Schedule: []int{0, 1, 0},
+		Verdict:  Verdict{OK: false, Condition: "termination", Detail: "stalled"},
+	}
+	if data, err = Encode(sm); err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, data)
+	paths, _ := filepath.Glob("../../testdata/traces/*.ktr")
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			seeds = append(seeds, data)
+		}
+	}
+	return seeds
+}
+
+// FuzzTraceDecode asserts Decode never panics and that anything it accepts
+// passes Validate and re-encodes.
+func FuzzTraceDecode(f *testing.F) {
+	for _, s := range seedArtifacts(f) {
+		f.Add(s)
+	}
+	f.Add([]byte("ksettrace v1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid trace: %v", err)
+		}
+		if _, err := Encode(tr); err != nil {
+			t.Fatalf("decoded trace does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzTraceRoundTrip asserts the codec is a bijection on its accepted set:
+// decode -> encode -> decode yields the identical structure and identical
+// bytes (the encoding is canonical).
+func FuzzTraceRoundTrip(f *testing.F) {
+	for _, s := range seedArtifacts(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(tr)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		tr2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\n%#v\nvs\n%#v", tr, tr2)
+		}
+		enc2, err := Encode(tr2)
+		if err != nil {
+			t.Fatalf("re-Encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not canonical:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package trace
+
+import (
+	"fmt"
+
+	"kset/internal/mpnet"
+	"kset/internal/prng"
+	"kset/internal/smmem"
+	"kset/internal/types"
+)
+
+// mpReplay is a scheduler that follows a recorded pick sequence. Replaying
+// an unmodified artifact never leaves the script: every scripted sequence
+// number is in flight when its step comes up, because the runtime's choices
+// are a pure function of the schedule and the seed.
+//
+// Shrunk candidates diverge, so the scheduler degrades deterministically: a
+// scripted message that was already seen in flight (and is gone now) was
+// consumed by the divergence and its entry is skipped; one not yet sent may
+// still appear, so the scheduler delivers the oldest in-flight message and
+// retries the entry next step; an exhausted script falls back to oldest-
+// first entirely. The fallback never reads the rng, so replay cannot
+// perturb the process random streams.
+type mpReplay struct {
+	script  []int
+	cursor  int
+	maxSeen int // highest send sequence number ever observed in flight
+}
+
+var _ mpnet.Scheduler = (*mpReplay)(nil)
+
+// Next implements mpnet.Scheduler.
+func (s *mpReplay) Next(_ *mpnet.View, inflight []mpnet.Envelope, _ *prng.Source) int {
+	for _, env := range inflight {
+		if env.Seq > s.maxSeen {
+			s.maxSeen = env.Seq
+		}
+	}
+	for s.cursor < len(s.script) {
+		want := s.script[s.cursor]
+		if idx := seqIndex(inflight, want); idx >= 0 {
+			s.cursor++
+			return idx
+		}
+		if want <= s.maxSeen {
+			// Was in flight once and is gone: it can never match again.
+			s.cursor++
+			continue
+		}
+		// Not sent yet; deliver oldest-first until it appears.
+		break
+	}
+	return oldestIndex(inflight)
+}
+
+func seqIndex(inflight []mpnet.Envelope, seq int) int {
+	for i, env := range inflight {
+		if env.Seq == seq {
+			return i
+		}
+	}
+	return -1
+}
+
+func oldestIndex(inflight []mpnet.Envelope) int {
+	best := 0
+	for i := 1; i < len(inflight); i++ {
+		if inflight[i].Seq < inflight[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// smReplay follows a recorded grant sequence. The shared-memory runtime
+// keeps every live process pending whenever the scheduler runs, so a
+// scripted process that is not pending has exited or crashed and its entry
+// is skipped for good; an exhausted script falls back to the lowest pending
+// process id. The fallback never reads the rng.
+type smReplay struct {
+	script []int
+	cursor int
+}
+
+var _ smmem.Scheduler = (*smReplay)(nil)
+
+// Next implements smmem.Scheduler.
+func (s *smReplay) Next(_ *smmem.View, pending []types.ProcessID, _ *prng.Source) types.ProcessID {
+	for s.cursor < len(s.script) {
+		want := types.ProcessID(s.script[s.cursor])
+		s.cursor++
+		for _, p := range pending {
+			if p == want {
+				return want
+			}
+		}
+	}
+	return pending[0]
+}
+
+// BuildMPConfig reconstructs the runnable message-passing configuration of
+// an artifact: witness protocol factory, materialized Byzantine strategies,
+// scripted crashes, and the schedule-following scheduler.
+func BuildMPConfig(t *Trace) (mpnet.Config, error) {
+	if t.Model.Comm != types.MessagePassing {
+		return mpnet.Config{}, fmt.Errorf("%w: %s artifact in message-passing replay", ErrBadTrace, t.Model)
+	}
+	factory, err := t.Protocol.MPFactory()
+	if err != nil {
+		return mpnet.Config{}, err
+	}
+	cfg := mpnet.Config{
+		N: t.N, T: t.T, K: t.K,
+		Inputs:       t.Inputs,
+		NewProtocol:  factory,
+		Seed:         t.Seed,
+		MaxEvents:    t.Budget,
+		HaltOnDecide: t.HaltOnDecide,
+		Scheduler:    &mpReplay{script: t.Schedule},
+	}
+	if len(t.Byzantine) > 0 {
+		cfg.Byzantine = make(map[types.ProcessID]mpnet.Protocol, len(t.Byzantine))
+		for _, b := range t.Byzantine {
+			p, err := b.MPProtocol()
+			if err != nil {
+				return mpnet.Config{}, err
+			}
+			cfg.Byzantine[b.Proc] = p
+		}
+	}
+	if len(t.Crashes) > 0 {
+		sc := &mpnet.ScriptedCrashes{
+			AtEvent: make(map[types.ProcessID]int),
+			AtSend:  make(map[types.ProcessID]int),
+		}
+		for _, c := range t.Crashes {
+			switch c.Kind {
+			case CrashAtEvent:
+				sc.AtEvent[c.Proc] = c.Index
+			case CrashAtSend:
+				sc.AtSend[c.Proc] = c.Index
+			}
+		}
+		cfg.Crash = sc
+	}
+	return cfg, nil
+}
+
+// BuildSMConfig reconstructs the runnable shared-memory configuration of an
+// artifact.
+func BuildSMConfig(t *Trace) (smmem.Config, error) {
+	if t.Model.Comm != types.SharedMemory {
+		return smmem.Config{}, fmt.Errorf("%w: %s artifact in shared-memory replay", ErrBadTrace, t.Model)
+	}
+	factory, err := t.Protocol.SMFactory()
+	if err != nil {
+		return smmem.Config{}, err
+	}
+	cfg := smmem.Config{
+		N: t.N, T: t.T, K: t.K,
+		Inputs:      t.Inputs,
+		NewProtocol: factory,
+		Seed:        t.Seed,
+		MaxOps:      t.Budget,
+		Scheduler:   &smReplay{script: t.Schedule},
+	}
+	if len(t.Byzantine) > 0 {
+		cfg.Byzantine = make(map[types.ProcessID]smmem.Protocol, len(t.Byzantine))
+		for _, b := range t.Byzantine {
+			p, err := b.SMProtocol()
+			if err != nil {
+				return smmem.Config{}, err
+			}
+			cfg.Byzantine[b.Proc] = p
+		}
+	}
+	if len(t.Crashes) > 0 {
+		sc := &smmem.ScriptedCrashes{AtOp: make(map[types.ProcessID]int)}
+		for _, c := range t.Crashes {
+			sc.AtOp[c.Proc] = c.Index
+		}
+		cfg.Crash = sc
+	}
+	return cfg, nil
+}
+
+// Result is the outcome of replaying an artifact: the fresh run record and
+// verdict, plus the re-recorded decision stream for fidelity checks (an
+// unmodified artifact reproduces Schedule and Crashes exactly).
+type Result struct {
+	Record   *types.RunRecord
+	Verdict  Verdict
+	Schedule []int
+	Crashes  []CrashSpec
+}
+
+// Replay re-executes an artifact with recording on.
+func Replay(t *Trace) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		record   *types.RunRecord
+		schedule []int
+		crashes  []CrashSpec
+	)
+	switch t.Model.Comm {
+	case types.MessagePassing:
+		cfg, err := BuildMPConfig(t)
+		if err != nil {
+			return nil, err
+		}
+		rec := &MPRecorder{}
+		cfg.Recorder = rec
+		if record, err = mpnet.Run(cfg); err != nil {
+			return nil, fmt.Errorf("trace: replay run: %w", err)
+		}
+		schedule, crashes = rec.Schedule, rec.Crashes
+	case types.SharedMemory:
+		cfg, err := BuildSMConfig(t)
+		if err != nil {
+			return nil, err
+		}
+		rec := &SMRecorder{}
+		cfg.Recorder = rec
+		if record, err = smmem.Run(cfg); err != nil {
+			return nil, fmt.Errorf("trace: replay run: %w", err)
+		}
+		schedule, crashes = rec.Schedule, rec.Crashes
+	default:
+		return nil, fmt.Errorf("%w: %v", types.ErrUnknownModel, t.Model)
+	}
+	sortFaults(nil, crashes)
+	return &Result{
+		Record:   record,
+		Verdict:  VerdictOf(record, t.Validity),
+		Schedule: schedule,
+		Crashes:  crashes,
+	}, nil
+}
+
+// Rerun re-executes an artifact without recording — the shrinker's hot path.
+func Rerun(t *Trace) (*types.RunRecord, error) {
+	switch t.Model.Comm {
+	case types.MessagePassing:
+		cfg, err := BuildMPConfig(t)
+		if err != nil {
+			return nil, err
+		}
+		return mpnet.Run(cfg)
+	case types.SharedMemory:
+		cfg, err := BuildSMConfig(t)
+		if err != nil {
+			return nil, err
+		}
+		return smmem.Run(cfg)
+	default:
+		return nil, fmt.Errorf("%w: %v", types.ErrUnknownModel, t.Model)
+	}
+}
+
+// Evaluate re-executes an artifact and returns the fresh verdict.
+func Evaluate(t *Trace) (Verdict, error) {
+	rec, err := Rerun(t)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return VerdictOf(rec, t.Validity), nil
+}
+
+// Recapture replays an artifact and rebuilds it in normalized form: the
+// schedule and crash list become exactly what the re-execution did (a
+// shrunk candidate's truncated script is replaced by the full effective
+// schedule) and the verdict is recomputed. Recapture is idempotent — a
+// recaptured artifact replays to itself.
+func Recapture(t *Trace) (*Trace, error) {
+	res, err := Replay(t)
+	if err != nil {
+		return nil, err
+	}
+	out := *t
+	out.Inputs = append([]types.Value(nil), t.Inputs...)
+	out.Byzantine = append([]ByzSpec(nil), t.Byzantine...)
+	out.Schedule = res.Schedule
+	out.Crashes = res.Crashes
+	out.Verdict = res.Verdict
+	out.Model = res.Record.Model
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
