@@ -12,7 +12,7 @@ GO ?= go
 BENCH_COUNT ?= 6
 BENCH_PATTERN ?= .
 
-.PHONY: all build lint test race race-live short bench bench-sweep verify replay-corpus regen-corpus fuzz-smoke figures report clean
+.PHONY: all build lint test race race-live short bench bench-sweep verify replay-corpus regen-corpus fuzz-smoke cluster-smoke figures report clean
 
 all: build lint test
 
@@ -31,10 +31,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Un-shortened race run over the live (genuinely concurrent) runtimes and
-# the sweep engine (the worker pool behind -workers).
+# Un-shortened race run over the live (genuinely concurrent) runtimes, the
+# sweep engine (the worker pool behind -workers), and the TCP cluster
+# runtime (including the fault-injected soak test).
 race-live:
-	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/ ./internal/sweep/
+	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/ ./internal/sweep/ ./internal/cluster/
 
 short:
 	$(GO) test -short ./...
@@ -67,11 +68,19 @@ replay-corpus:
 regen-corpus:
 	KSET_REGEN_TRACES=1 $(GO) test -run TestRegenerateCorpus -v ./cmd/ksetreplay/
 
-# Short fuzz pass over the trace codec (one invocation per target: go fuzz
-# allows a single -fuzz pattern match per run).
+# Short fuzz pass over the trace and wire codecs (one invocation per
+# target: go fuzz allows a single -fuzz pattern match per run).
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzTraceDecode -fuzztime 10s ./internal/trace/
 	$(GO) test -run XXX -fuzz FuzzTraceRoundTrip -fuzztime 10s ./internal/trace/
+	$(GO) test -run XXX -fuzz FuzzWireDecode -fuzztime 10s ./internal/wire/
+	$(GO) test -run XXX -fuzz FuzzWireRoundTrip -fuzztime 10s ./internal/wire/
+
+# Loopback 5-node TCP cluster under -race: concurrent FloodMin and
+# Protocol A instances over an adversarial transport, one crashed node, one
+# flapping link, every surviving node's decisions verified by the checker.
+cluster-smoke:
+	$(GO) test -race -count=1 -run TestClusterSoak -v ./internal/cluster/
 
 # Regenerate the paper's figures at n=64 into docs/figures/.
 figures:

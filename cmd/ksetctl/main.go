@@ -1,0 +1,310 @@
+// Command ksetctl is the controller for a ksetd cluster: it starts
+// consensus instances (submitting each node's input), collects decision
+// tables, verifies them with the checker, and reports per-instance decision
+// latency and throughput counters.
+//
+// Usage:
+//
+//	ksetctl run -peers host0:7000,host1:7000,host2:7000 \
+//	        -instances 8 -k 2 -t 1 -protocol floodmin -validity rv1
+//	ksetctl run -peers ... -instances 1 -inputs 4,7,2
+//	ksetctl stats -peers host0:7000,host1:7000,host2:7000
+//
+// run exits non-zero if any node's decision table fails the checker; the
+// cluster is the system under test and ksetctl is the judge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kset/internal/cluster"
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ksetctl <run|stats> -peers ... [flags]")
+	}
+	switch args[0] {
+	case "run":
+		return runInstances(args[1:], out)
+	case "stats":
+		return runStats(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want run or stats)", args[0])
+	}
+}
+
+// dialAll opens one control connection per node.
+func dialAll(addrs []string, timeout time.Duration) ([]*cluster.Client, error) {
+	clients := make([]*cluster.Client, len(addrs))
+	for i, addr := range addrs {
+		c, err := cluster.DialNode(addr, timeout)
+		if err != nil {
+			closeAll(clients)
+			return nil, fmt.Errorf("dial node %d at %s: %w", i, addr, err)
+		}
+		clients[i] = c
+	}
+	return clients, nil
+}
+
+func closeAll(clients []*cluster.Client) {
+	for _, c := range clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func runInstances(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ksetctl run", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		peers     = fs.String("peers", "", "comma-separated node addresses in id order (required)")
+		instances = fs.Int("instances", 1, "number of concurrent instances to run")
+		first     = fs.Uint64("first", 1, "id of the first instance")
+		k         = fs.Int("k", 0, "agreement bound (0: node default)")
+		t         = fs.Int("t", 0, "failure bound (0: node default)")
+		protocol  = fs.String("protocol", "", "protocol (empty: node default)")
+		ell       = fs.Int("ell", 1, "echo parameter l for protocol c")
+		validity  = fs.String("validity", "rv1", "validity condition to verify (sv1..wv2)")
+		inputs    = fs.String("inputs", "", "comma-separated inputs for a single instance")
+		timeout   = fs.Duration("timeout", 60*time.Second, "deadline for all instances to decide")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peers == "" {
+		return fmt.Errorf("-peers is required")
+	}
+	addrs := splitAddrs(*peers)
+	n := len(addrs)
+	if *instances < 1 {
+		return fmt.Errorf("-instances %d: need at least 1", *instances)
+	}
+	v, err := types.ParseValidity(*validity)
+	if err != nil {
+		return err
+	}
+	proto := theory.ProtoNone
+	if *protocol != "" {
+		if proto, err = cluster.ParseProtocol(*protocol); err != nil {
+			return err
+		}
+	}
+	protoEll := 0
+	if proto == theory.ProtoC {
+		protoEll = *ell
+	}
+	fixed, err := parseInputs(*inputs, n)
+	if err != nil {
+		return err
+	}
+	if fixed != nil && *instances != 1 {
+		return fmt.Errorf("-inputs only applies to a single instance")
+	}
+	inputsFor := func(id uint64) []types.Value {
+		if fixed != nil {
+			return fixed
+		}
+		vals := make([]types.Value, n)
+		for i := range vals {
+			vals[i] = types.Value(int(id)*100 + i + 1)
+		}
+		return vals
+	}
+
+	clients, err := dialAll(addrs, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer closeAll(clients)
+
+	// Submit every instance to every node, each with its own input.
+	started := time.Now()
+	last := *first + uint64(*instances) - 1
+	for id := *first; id <= last; id++ {
+		vals := inputsFor(id)
+		for i, c := range clients {
+			err := c.Start(wire.Start{
+				Instance: id, K: *k, T: *t,
+				Proto: uint8(proto), Ell: protoEll,
+				Input: vals[i],
+			})
+			if err != nil {
+				return fmt.Errorf("start instance %d on node %d: %w", id, i, err)
+			}
+		}
+	}
+	fmt.Fprintf(out, "started %d instance(s) on %d nodes\n", *instances, n)
+
+	// Collect: poll every node until its table shows every node decided (no
+	// crashed nodes in a ksetctl-driven run — all n answered Start), then
+	// verify each table with the full checker.
+	deadline := time.Now().Add(*timeout)
+	failures := 0
+	for id := *first; id <= last; id++ {
+		vals := inputsFor(id)
+		for i, c := range clients {
+			tbl, err := awaitTable(c, id, deadline)
+			if err != nil {
+				return fmt.Errorf("instance %d on node %d: %w", id, i, err)
+			}
+			if _, err := cluster.VerifyTable(tbl, vals, v, 0); err != nil {
+				failures++
+				fmt.Fprintf(out, "FAIL instance %d node %d: %v\n", id, i, err)
+			}
+		}
+		fmt.Fprintf(out, "instance %d: verified on %d nodes, decisions %v\n",
+			id, n, decisionsOf(clients, id))
+	}
+	elapsed := time.Since(started)
+
+	// Report per-instance decision latency from node 0's counters, plus the
+	// controller's wall-clock throughput.
+	pairs, err := clients[0].Stats()
+	if err != nil {
+		return err
+	}
+	stats := statMap(pairs)
+	fmt.Fprintf(out, "\nper-instance decision latency (node 0):\n")
+	for id := *first; id <= last; id++ {
+		fmt.Fprintf(out, "  inst.%d.latency_us %d\n", id, stats[fmt.Sprintf("inst.%d.latency_us", id)])
+	}
+	fmt.Fprintf(out, "throughput: %d instance(s) in %v (%.1f/s)\n",
+		*instances, elapsed.Round(time.Millisecond),
+		float64(*instances)/elapsed.Seconds())
+	if failures > 0 {
+		return fmt.Errorf("%d table(s) failed verification", failures)
+	}
+	fmt.Fprintf(out, "all decision tables checker-clean (%s)\n", strings.ToUpper(*validity))
+	return nil
+}
+
+// decisionsOf summarizes the distinct decided values node 0 observed.
+func decisionsOf(clients []*cluster.Client, id uint64) []types.Value {
+	tbl, err := clients[0].Table(id)
+	if err != nil {
+		return nil
+	}
+	set := map[types.Value]bool{}
+	for _, row := range tbl.Rows {
+		if row.Decided {
+			set[row.Value] = true
+		}
+	}
+	out := make([]types.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func awaitTable(c *cluster.Client, id uint64, deadline time.Time) (wire.Table, error) {
+	for {
+		tbl, err := c.Table(id)
+		if err != nil {
+			return wire.Table{}, err
+		}
+		complete := len(tbl.Rows) > 0
+		for _, row := range tbl.Rows {
+			if !row.Decided {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			return tbl, nil
+		}
+		if time.Now().After(deadline) {
+			return wire.Table{}, fmt.Errorf("undecided at deadline: %+v", tbl)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func runStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ksetctl stats", flag.ContinueOnError)
+	fs.SetOutput(out)
+	peers := fs.String("peers", "", "comma-separated node addresses in id order (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peers == "" {
+		return fmt.Errorf("-peers is required")
+	}
+	addrs := splitAddrs(*peers)
+	clients, err := dialAll(addrs, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer closeAll(clients)
+	for i, c := range clients {
+		pairs, err := c.Stats()
+		if err != nil {
+			return fmt.Errorf("stats from node %d: %w", i, err)
+		}
+		fmt.Fprintf(out, "node %d (%s):\n", i, addrs[i])
+		for _, p := range pairs {
+			fmt.Fprintf(out, "  %-24s %d\n", p.Name, p.Value)
+		}
+	}
+	return nil
+}
+
+func statMap(pairs []wire.StatPair) map[string]int64 {
+	m := make(map[string]int64, len(pairs))
+	for _, p := range pairs {
+		m[p.Name] = p.Value
+	}
+	return m
+}
+
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseInputs parses "4,7,2" into n values; empty means nil (generated).
+func parseInputs(s string, n int) ([]types.Value, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("-inputs has %d values, cluster has %d nodes", len(parts), n)
+	}
+	out := make([]types.Value, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-inputs entry %d: %v", i, err)
+		}
+		out[i] = types.Value(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"kset/internal/cluster"
+)
+
+// startCluster brings up an in-process 3-node cluster for the command to
+// drive over real TCP.
+func startCluster(t *testing.T, seed uint64) *cluster.Loopback {
+	t.Helper()
+	lb, err := cluster.StartLoopback(cluster.LoopbackConfig{N: 3, K: 1, T: 0, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lb.Close)
+	return lb
+}
+
+func TestRunSingleInstance(t *testing.T) {
+	lb := startCluster(t, 11)
+	var out strings.Builder
+	err := run([]string{
+		"run",
+		"-peers", strings.Join(lb.Addrs, ","),
+		"-instances", "1",
+		"-k", "1", "-t", "0",
+		"-protocol", "floodmin",
+		"-validity", "rv1",
+		"-inputs", "4,7,2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"started 1 instance(s) on 3 nodes",
+		"decisions [2]", // k=1 FloodMin: consensus on the minimum input
+		"latency_us",
+		"all decision tables checker-clean (RV1)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunConcurrentInstances(t *testing.T) {
+	lb := startCluster(t, 12)
+	var out strings.Builder
+	err := run([]string{
+		"run",
+		"-peers", strings.Join(lb.Addrs, ","),
+		"-instances", "4",
+		"-protocol", "floodmin",
+		"-validity", "rv1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"started 4 instance(s) on 3 nodes",
+		"inst.1.latency_us",
+		"inst.4.latency_us",
+		"throughput: 4 instance(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	lb := startCluster(t, 13)
+	var out strings.Builder
+	err := run([]string{
+		"run",
+		"-peers", strings.Join(lb.Addrs, ","),
+		"-instances", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"stats", "-peers", strings.Join(lb.Addrs, ",")}, &out); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"node 0", "node 2", "node.frames_sent", "inst.1.decided"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"run"}, // missing -peers
+		{"run", "-peers", "x", "-instances", "0"},            // bad count
+		{"run", "-peers", "a,b", "-inputs", "1"},             // wrong input arity
+		{"run", "-peers", "a,b", "-validity", "nope"},        // bad validity
+		{"run", "-peers", "a,b", "-protocol", "heisenbyzzz"}, // bad protocol
+		{"stats"}, // missing -peers
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command ksetd is one node of a k-set consensus cluster: it listens for
+// peer and control connections, maintains reliable links to its peers over
+// an adversarial (fault-injected) transport, and serves any number of
+// concurrent consensus instances, each running one of the paper's
+// message-passing protocols.
+//
+// Usage:
+//
+//	ksetd -id 0 -peers host0:7000,host1:7000,host2:7000 -n 3 -k 2 -t 1
+//	ksetd -id 1 -peers ... -listen :7000 -protocol floodmin -seed 7 \
+//	      -drop 0.1 -delay 0.2 -max-delay 5ms
+//
+// The -peers list must name every node in id order; entry -id is this
+// node's advertised address. Instances are started by ksetctl (or any
+// controller speaking the wire protocol).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kset/internal/cluster"
+	"kset/internal/theory"
+	"kset/internal/types"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stderr, stop, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the node and serves until stop closes. If ready is non-nil it
+// receives the bound listen address once the node is up (tests use it to
+// learn :0 port assignments).
+func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- string) error {
+	fs := flag.NewFlagSet("ksetd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		id       = fs.Int("id", 0, "this node's process id (0..n-1)")
+		peers    = fs.String("peers", "", "comma-separated peer addresses in id order (required)")
+		listen   = fs.String("listen", "", "listen address (default: the -peers entry for -id)")
+		protocol = fs.String("protocol", "floodmin", "default protocol: floodmin, a, b, c, d, trivial")
+		ell      = fs.Int("ell", 1, "echo parameter l for protocol c")
+		n        = fs.Int("n", 0, "cluster size (default: len(peers))")
+		k        = fs.Int("k", 1, "default agreement bound")
+		t        = fs.Int("t", 0, "default failure bound")
+		seed     = fs.Uint64("seed", 1, "fault-injection and protocol seed")
+		drop     = fs.Float64("drop", 0, "probability a transmission attempt is dropped")
+		dup      = fs.Float64("dup", 0, "probability a transmission attempt is duplicated")
+		delay    = fs.Float64("delay", 0, "probability a transmission attempt is delayed")
+		maxDelay = fs.Duration("max-delay", 20*time.Millisecond, "upper bound on injected delays")
+		quiet    = fs.Bool("quiet", false, "suppress diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peers == "" {
+		return fmt.Errorf("-peers is required")
+	}
+	addrs := splitAddrs(*peers)
+	if *n == 0 {
+		*n = len(addrs)
+	}
+	proto, err := cluster.ParseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	defaultEll := 0
+	if proto == theory.ProtoC {
+		defaultEll = *ell
+	}
+
+	logger := log.New(logw, fmt.Sprintf("ksetd[%d] ", *id), log.LstdFlags|log.Lmicroseconds)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	node, err := cluster.NewNode(cluster.Config{
+		ID:           types.ProcessID(*id),
+		N:            *n,
+		K:            *k,
+		T:            *t,
+		Peers:        addrs,
+		Listen:       *listen,
+		DefaultProto: proto,
+		DefaultEll:   defaultEll,
+		Seed:         *seed,
+		Faults: cluster.Faults{
+			Drop:     *drop,
+			Dup:      *dup,
+			Delay:    *delay,
+			MaxDelay: *maxDelay,
+		},
+		Logf: logf,
+	})
+	if err != nil {
+		return err
+	}
+	if err := node.Start(); err != nil {
+		return err
+	}
+	logger.Printf("listening on %s as node %d of %d", node.Addr(), *id, *n)
+	if ready != nil {
+		ready <- node.Addr()
+	}
+	<-stop
+	logger.Printf("shutting down")
+	node.Close()
+	return nil
+}
+
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

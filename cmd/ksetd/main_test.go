@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"kset/internal/cluster"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// TestDaemonServesControl boots a single-node daemon on an ephemeral port
+// and drives one instance through its control interface end to end. (The
+// single-node cluster is degenerate consensus — decide your own input — but
+// it exercises the whole daemon path: flags, listener, control protocol.)
+func TestDaemonServesControl(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-id", "0",
+			"-peers", "127.0.0.1:1",
+			"-listen", "127.0.0.1:0",
+			"-n", "1", "-k", "1", "-t", "0",
+			"-protocol", "floodmin",
+			"-quiet",
+		}, io.Discard, stop, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+
+	c, err := cluster.DialNode(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(wire.Start{Instance: 1, K: 1, T: 0, Input: 42}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tbl, err := c.Table(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tbl.Rows) == 1 && tbl.Rows[0].Decided {
+			if tbl.Rows[0].Value != 42 {
+				t.Fatalf("decided %d, want 42", tbl.Rows[0].Value)
+			}
+			if _, err := cluster.VerifyTable(tbl, []types.Value{42}, types.RV1, 0); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance undecided: %+v", tbl)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-peers", ""},                           // missing peers
+		{"-peers", "a,b", "-protocol", "nope"},   // unknown protocol
+		{"-peers", "a,b", "-id", "7", "-n", "2"}, // id out of range
+		{"-peers", "a,b", "-k", "0"},             // invalid k
+	}
+	for _, args := range cases {
+		stop := make(chan struct{})
+		close(stop)
+		if err := run(args, io.Discard, stop, nil); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	got := splitAddrs(" a:1, b:2 ,,c:3 ")
+	want := []string{"a:1", "b:2", "c:3"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("splitAddrs: got %v, want %v", got, want)
+	}
+}

@@ -22,7 +22,9 @@ import (
 	"kset/internal/ascii"
 	"kset/internal/checker"
 	"kset/internal/harness"
+	"kset/internal/mplive"
 	"kset/internal/mpnet"
+	"kset/internal/smlive"
 	"kset/internal/smmem"
 	"kset/internal/theory"
 	"kset/internal/types"
@@ -53,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		inputs   = fs.String("inputs", "", "comma-separated inputs (default: 1..n)")
 		quiet    = fs.Bool("quiet", false, "suppress the event trace")
 		diagram  = fs.Bool("diagram", false, "render a space-time diagram instead of a raw trace")
+		live     = fs.Bool("live", false, "run on the live goroutine runtime (real concurrency) instead of the deterministic simulator")
 		demo     = fs.String("demo", "", "run a paper construction instead (see -demo list)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +99,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no witness protocol for an open point")
 	}
 
+	if *live && *diagram {
+		return fmt.Errorf("-diagram requires the deterministic simulator; drop -live")
+	}
+
 	var rec *types.RunRecord
 	var dia *ascii.Diagram
 	switch m.Comm {
@@ -103,6 +110,17 @@ func run(args []string, out io.Writer) error {
 		factory, err := harness.MPFactory(res)
 		if err != nil {
 			return err
+		}
+		if *live {
+			fmt.Fprintln(out, "live goroutine runtime: schedule chosen by the Go scheduler, no event trace")
+			rec, err = mplive.Run(mplive.Config{
+				N: *n, T: *t, K: *k,
+				Inputs: vals, NewProtocol: factory, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			break
 		}
 		cfg := mpnet.Config{
 			N: *n, T: *t, K: *k,
@@ -123,6 +141,17 @@ func run(args []string, out io.Writer) error {
 		factory, err := harness.SMFactory(res)
 		if err != nil {
 			return err
+		}
+		if *live {
+			fmt.Fprintln(out, "live goroutine runtime: schedule chosen by the Go scheduler, no event trace")
+			rec, err = smlive.Run(smlive.Config{
+				N: *n, T: *t, K: *k,
+				Inputs: vals, NewProtocol: factory, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			break
 		}
 		cfg := smmem.Config{
 			N: *n, T: *t, K: *k,

@@ -107,3 +107,42 @@ func TestParseInputs(t *testing.T) {
 		t.Error("non-numeric accepted")
 	}
 }
+
+func TestLiveMessagePassingRun(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-live", "-model", "mp/cr", "-validity", "rv1",
+		"-n", "6", "-k", "3", "-t", "2", "-seed", "4"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"live goroutine runtime", "termination  ok", "agreement    ok", "RV1          ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLiveSharedMemoryRun(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-live", "-model", "sm/cr", "-validity", "rv1",
+		"-n", "5", "-k", "2", "-t", "1", "-seed", "4"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"live goroutine runtime", "termination  ok", "RV1          ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLiveDiagramConflict(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-live", "-diagram", "-model", "mp/cr",
+		"-n", "6", "-k", "3", "-t", "2"}, &b)
+	if err == nil {
+		t.Fatal("expected -live/-diagram conflict error")
+	}
+}

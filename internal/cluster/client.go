@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"kset/internal/checker"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// ErrProtocol reports an out-of-contract reply on a control connection.
+var ErrProtocol = errors.New("cluster: control protocol violation")
+
+// Client is a controller connection to one node (ksetctl and the tests use
+// it). It speaks strict request-reply: every request has exactly one reply,
+// so a Client must not be shared between concurrent requesters.
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// DialNode opens a control connection to a node. timeout bounds the dial and
+// each subsequent request round trip; zero selects 5s.
+func DialNode(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, timeout: timeout}
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := wire.WriteMsg(conn, wire.Hello{From: -1, Role: wire.RoleCtl}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the control connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one reply under the deadline.
+func (c *Client) roundTrip(req wire.Msg) (wire.Msg, error) {
+	deadline := time.Now().Add(c.timeout)
+	c.conn.SetWriteDeadline(deadline)
+	if err := wire.WriteMsg(c.conn, req); err != nil {
+		return nil, err
+	}
+	c.conn.SetReadDeadline(deadline)
+	return wire.ReadMsg(c.conn)
+}
+
+// Start asks the node to start one consensus instance with the given local
+// input, blocking until the node acknowledges it.
+func (c *Client) Start(s wire.Start) error {
+	reply, err := c.roundTrip(s)
+	if err != nil {
+		return err
+	}
+	ack, ok := reply.(wire.StartAck)
+	if !ok || ack.Instance != s.Instance {
+		return fmt.Errorf("%w: start reply %#v", ErrProtocol, reply)
+	}
+	return nil
+}
+
+// Table pulls the node's current decision table for an instance.
+func (c *Client) Table(instance uint64) (wire.Table, error) {
+	reply, err := c.roundTrip(wire.PullTable{Instance: instance})
+	if err != nil {
+		return wire.Table{}, err
+	}
+	tbl, ok := reply.(wire.Table)
+	if !ok || tbl.Instance != instance {
+		return wire.Table{}, fmt.Errorf("%w: table reply %#v", ErrProtocol, reply)
+	}
+	return tbl, nil
+}
+
+// Stats pulls the node's counters.
+func (c *Client) Stats() ([]wire.StatPair, error) {
+	reply, err := c.roundTrip(wire.PullStats{})
+	if err != nil {
+		return nil, err
+	}
+	st, ok := reply.(wire.Stats)
+	if !ok {
+		return nil, fmt.Errorf("%w: stats reply %#v", ErrProtocol, reply)
+	}
+	return st.Pairs, nil
+}
+
+// BuildRecord converts one node's decision table into the RunRecord shape
+// internal/checker validates. Undecided rows are marked faulty: in a
+// finished run the only processes without a decision are the failed ones,
+// and the checker's own Validate rejects the record if that exceeds t — so
+// an incomplete run cannot masquerade as a clean one.
+func BuildRecord(tbl wire.Table, inputs []types.Value, seed uint64) (*types.RunRecord, error) {
+	n := len(tbl.Rows)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty decision table for instance %d", ErrProtocol, tbl.Instance)
+	}
+	if len(inputs) != n {
+		return nil, fmt.Errorf("%w: %d inputs for %d table rows", ErrProtocol, len(inputs), n)
+	}
+	rec := &types.RunRecord{
+		N:         n,
+		T:         tbl.T,
+		K:         tbl.K,
+		Model:     types.MPCR,
+		Inputs:    append([]types.Value(nil), inputs...),
+		Faulty:    make([]bool, n),
+		Decided:   make([]bool, n),
+		Decisions: make([]types.Value, n),
+		Seed:      seed,
+	}
+	for i, row := range tbl.Rows {
+		rec.Decided[i] = row.Decided
+		rec.Decisions[i] = row.Value
+		rec.Faulty[i] = !row.Decided
+	}
+	return rec, nil
+}
+
+// VerifyTable builds the record for one node's table and runs the full
+// checker (termination, agreement, and the given validity condition).
+func VerifyTable(tbl wire.Table, inputs []types.Value, validity types.Validity, seed uint64) (*types.RunRecord, error) {
+	rec, err := BuildRecord(tbl, inputs, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := checker.CheckAll(rec, validity); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// startEverywhere submits one instance to every surviving node with
+// inputs[i] as node i's input. Dead nodes (nil in lb.Nodes) are skipped —
+// they are the crashed processes of the run.
+func startEverywhere(t *testing.T, lb *Loopback, instance uint64, k, tt int, proto theory.ProtocolID, inputs []types.Value) {
+	t.Helper()
+	for i, node := range lb.Nodes {
+		if node == nil {
+			continue
+		}
+		err := node.StartInstance(wire.Start{
+			Instance: instance,
+			K:        k,
+			T:        tt,
+			Proto:    uint8(proto),
+			Input:    inputs[i],
+		})
+		if err != nil {
+			t.Fatalf("start instance %d on node %d: %v", instance, i, err)
+		}
+	}
+}
+
+// awaitTable polls one node's decision table until every surviving node's
+// row is decided, or the deadline passes.
+func awaitTable(t *testing.T, node *Node, instance uint64, survivors []bool, deadline time.Time) wire.Table {
+	t.Helper()
+	for {
+		tbl, ok := node.Table(instance)
+		if ok && tableComplete(tbl, survivors) {
+			return tbl
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d: instance %d incomplete at deadline: %+v", node.cfg.ID, instance, tbl)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func tableComplete(tbl wire.Table, survivors []bool) bool {
+	if len(tbl.Rows) != len(survivors) {
+		return false
+	}
+	for i, alive := range survivors {
+		if alive && !tbl.Rows[i].Decided {
+			return false
+		}
+	}
+	return true
+}
+
+func allAlive(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func TestLoopbackSingleInstance(t *testing.T) {
+	const n = 3
+	lb, err := StartLoopback(LoopbackConfig{N: n, K: 1, T: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	inputs := []types.Value{7, 3, 9}
+	startEverywhere(t, lb, 1, 1, 0, theory.ProtoFloodMin, inputs)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for i, node := range lb.Nodes {
+		tbl := awaitTable(t, node, 1, allAlive(n), deadline)
+		rec, err := VerifyTable(tbl, inputs, types.RV1, 1)
+		if err != nil {
+			t.Fatalf("node %d: %v\nrecord: %v", i, err, rec)
+		}
+		// k=1, t=0 FloodMin is consensus on the minimum input.
+		for j, row := range tbl.Rows {
+			if row.Value != 3 {
+				t.Errorf("node %d row %d: decided %d, want 3", i, j, row.Value)
+			}
+		}
+	}
+}
+
+// TestLateStartBuffersFrames starts an instance on two nodes first, lets
+// their protocol traffic reach the third node before its own Start, and
+// checks the buffered frames are replayed: all three still decide.
+func TestLateStartBuffersFrames(t *testing.T) {
+	const n = 3
+	lb, err := StartLoopback(LoopbackConfig{N: n, K: 1, T: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	inputs := []types.Value{5, 4, 6}
+	for i := 0; i < 2; i++ {
+		err := lb.Nodes[i].StartInstance(wire.Start{
+			Instance: 9, K: 1, T: 0, Proto: uint8(theory.ProtoFloodMin), Input: inputs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the early starters' broadcasts time to land in node 2's pending
+	// buffer before its Start arrives.
+	time.Sleep(50 * time.Millisecond)
+	err = lb.Nodes[2].StartInstance(wire.Start{
+		Instance: 9, K: 1, T: 0, Proto: uint8(theory.ProtoFloodMin), Input: inputs[2],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for i, node := range lb.Nodes {
+		tbl := awaitTable(t, node, 9, allAlive(n), deadline)
+		if _, err := VerifyTable(tbl, inputs, types.RV1, 2); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+}
+
+// TestControlClient drives a node through the ksetctl client path: start via
+// control connection, pull tables and stats.
+func TestControlClient(t *testing.T) {
+	const n = 3
+	lb, err := StartLoopback(LoopbackConfig{N: n, K: 1, T: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	inputs := []types.Value{2, 8, 2}
+	clients := make([]*Client, n)
+	for i := range clients {
+		c, err := DialNode(lb.Addrs[i], 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	for i, c := range clients {
+		err := c.Start(wire.Start{
+			Instance: 4, K: 1, T: 0, Proto: uint8(theory.ProtoFloodMin), Input: inputs[i],
+		})
+		if err != nil {
+			t.Fatalf("ctl start on node %d: %v", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for i, c := range clients {
+		var tbl wire.Table
+		for {
+			tbl, err = c.Table(4)
+			if err != nil {
+				t.Fatalf("pull table from node %d: %v", i, err)
+			}
+			if tableComplete(tbl, allAlive(n)) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d table incomplete: %+v", i, tbl)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if _, err := VerifyTable(tbl, inputs, types.RV1, 3); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+
+	pairs, err := clients[0].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := make(map[string]int64, len(pairs))
+	for _, p := range pairs {
+		stats[p.Name] = p.Value
+	}
+	if stats["inst.4.decided"] != 1 {
+		t.Errorf("node 0 stats: inst.4.decided = %d, want 1", stats["inst.4.decided"])
+	}
+	if stats["inst.4.latency_us"] <= 0 {
+		t.Errorf("node 0 stats: inst.4.latency_us = %d, want > 0", stats["inst.4.latency_us"])
+	}
+	if stats["node.frames_sent"] <= 0 {
+		t.Errorf("node 0 stats: node.frames_sent = %d, want > 0", stats["node.frames_sent"])
+	}
+}
+
+// TestStartIdempotent checks that a duplicate Start (a retried control
+// request) is acknowledged without spawning a second instance.
+func TestStartIdempotent(t *testing.T) {
+	const n = 3
+	lb, err := StartLoopback(LoopbackConfig{N: n, K: 1, T: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	inputs := []types.Value{1, 2, 3}
+	startEverywhere(t, lb, 5, 1, 0, theory.ProtoFloodMin, inputs)
+	// Duplicate starts, including one with a different input: first wins.
+	for i, node := range lb.Nodes {
+		err := node.StartInstance(wire.Start{
+			Instance: 5, K: 1, T: 0, Proto: uint8(theory.ProtoFloodMin), Input: 99,
+		})
+		if err != nil {
+			t.Fatalf("duplicate start on node %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for i, node := range lb.Nodes {
+		tbl := awaitTable(t, node, 5, allAlive(n), deadline)
+		if _, err := VerifyTable(tbl, inputs, types.RV1, 4); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		for j, row := range tbl.Rows {
+			if row.Value == 99 {
+				t.Errorf("node %d row %d decided the duplicate-start input", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kset/internal/mpnet"
+	"kset/internal/prng"
+	"kset/internal/theory"
+	"kset/internal/trace"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// inboxDepth buffers deliveries between the connection readers and the
+// instance goroutine. A full inbox stalls the reader (backpressure), never a
+// lock holder, so no deadlock cycle can form.
+const inboxDepth = 1024
+
+// instance is one running consensus instance: an mpnet.Protocol driven by
+// network deliveries instead of a simulated schedule. Exactly one goroutine
+// (run) calls into the protocol, preserving mpnet's single-threaded protocol
+// contract; connection readers only feed the inbox and the decision table.
+type instance struct {
+	node  *Node
+	id    uint64
+	k, t  int
+	input types.Value
+	proto mpnet.Protocol
+	rng   *prng.Source
+
+	inbox chan delivery
+
+	mu      sync.Mutex
+	rows    []wire.TableRow // decision table, indexed by node id
+	decided bool            // local process decided
+	self    []types.Payload // pending self-deliveries (drained between events)
+
+	startedAt time.Time
+	sent      atomic.Int64
+	recv      atomic.Int64
+	latencyUS atomic.Int64 // local decision latency; 0 until decided
+}
+
+// delivery is one remote protocol message awaiting the instance goroutine.
+type delivery struct {
+	from    types.ProcessID
+	payload types.Payload
+}
+
+func newInstance(n *Node, id uint64, k, t int, proto theory.ProtocolID, ell int, input types.Value) (*instance, error) {
+	factory, err := trace.ProtocolSpec{Proto: proto, Ell: ell}.MPFactory()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: instance %d: %w", id, err)
+	}
+	return &instance{
+		node:  n,
+		id:    id,
+		k:     k,
+		t:     t,
+		input: input,
+		proto: factory(n.cfg.ID),
+		rng:   prng.New(n.cfg.Seed ^ id ^ 0xabcd*uint64(n.cfg.ID)),
+		inbox: make(chan delivery, inboxDepth),
+		rows:  make([]wire.TableRow, n.cfg.N),
+	}, nil
+}
+
+// deliverWire routes one accepted peer frame for this instance: protocol
+// messages go through the inbox to the instance goroutine; decide
+// announcements update the decision table directly.
+func (in *instance) deliverWire(m wire.Msg) {
+	switch v := m.(type) {
+	case wire.Proto:
+		select {
+		case in.inbox <- delivery{from: v.From, payload: v.Payload}:
+		case <-in.node.done:
+		}
+	case wire.Decide:
+		in.recordDecision(v.Node, v.Value)
+	}
+}
+
+// recordDecision fills one row of the decision table. The first announcement
+// wins; a correct node never announces twice with different values, and for
+// a faulty one any stable choice is as good as another.
+func (in *instance) recordDecision(node types.ProcessID, val types.Value) {
+	if int(node) < 0 || int(node) >= len(in.rows) {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.rows[node].Decided {
+		in.rows[node] = wire.TableRow{Decided: true, Value: val}
+	}
+}
+
+// run is the instance goroutine: start the protocol, then deliver inbox
+// messages until the node shuts down. Self-sends queued during a handler are
+// drained before the next network delivery, mirroring mpnet's runtime.
+func (in *instance) run(backlog []wire.Msg) {
+	defer in.node.wg.Done()
+	in.startedAt = time.Now()
+	api := &instanceAPI{in: in}
+	in.proto.Start(api)
+	in.drainSelf(api)
+	for _, m := range backlog {
+		in.deliverBacklog(api, m)
+	}
+	for {
+		select {
+		case <-in.node.done:
+			return
+		case d := <-in.inbox:
+			in.recv.Add(1)
+			in.proto.Deliver(api, d.from, d.payload)
+			in.drainSelf(api)
+		}
+	}
+}
+
+// deliverBacklog replays one frame that was buffered before the instance
+// started locally. Buffered frames never passed through deliverWire, so both
+// protocol messages and decide announcements are applied here.
+func (in *instance) deliverBacklog(api *instanceAPI, m wire.Msg) {
+	switch v := m.(type) {
+	case wire.Proto:
+		in.recv.Add(1)
+		in.proto.Deliver(api, v.From, v.Payload)
+		in.drainSelf(api)
+	case wire.Decide:
+		in.recordDecision(v.Node, v.Value)
+	}
+}
+
+// drainSelf delivers self-sends queued during the previous handler, plus any
+// they generate, before the next network delivery.
+func (in *instance) drainSelf(api *instanceAPI) {
+	for {
+		in.mu.Lock()
+		if len(in.self) == 0 {
+			in.mu.Unlock()
+			return
+		}
+		p := in.self[0]
+		in.self = in.self[1:]
+		in.mu.Unlock()
+		in.proto.Deliver(api, in.node.cfg.ID, p)
+	}
+}
+
+// tableSnapshot copies the current decision table.
+func (in *instance) tableSnapshot() wire.Table {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return wire.Table{
+		Instance: in.id,
+		K:        in.k,
+		T:        in.t,
+		Rows:     append([]wire.TableRow(nil), in.rows...),
+	}
+}
+
+// statPairs reports this instance's counters in a fixed order.
+func (in *instance) statPairs() []wire.StatPair {
+	prefix := fmt.Sprintf("inst.%d.", in.id)
+	decided := int64(0)
+	in.mu.Lock()
+	if in.decided {
+		decided = 1
+	}
+	in.mu.Unlock()
+	return []wire.StatPair{
+		{Name: prefix + "sent", Value: in.sent.Load()},
+		{Name: prefix + "recv", Value: in.recv.Load()},
+		{Name: prefix + "decided", Value: decided},
+		{Name: prefix + "latency_us", Value: in.latencyUS.Load()},
+	}
+}
+
+// instanceAPI adapts the cluster transport to the mpnet.API the protocol
+// implementations were written against. All methods are called from the
+// instance goroutine only.
+type instanceAPI struct {
+	in *instance
+}
+
+func (a *instanceAPI) ID() types.ProcessID { return a.in.node.cfg.ID }
+func (a *instanceAPI) N() int              { return a.in.node.cfg.N }
+func (a *instanceAPI) T() int              { return a.in.t }
+func (a *instanceAPI) K() int              { return a.in.k }
+func (a *instanceAPI) Input() types.Value  { return a.in.input }
+func (a *instanceAPI) Rand() *prng.Source  { return a.in.rng }
+
+// Send transmits p to process `to`. A self-send is queued locally and
+// delivered after the current handler returns, exactly as in mpnet: a
+// process hears itself without network delay and without handler reentry.
+func (a *instanceAPI) Send(to types.ProcessID, p types.Payload) {
+	in := a.in
+	if to == in.node.cfg.ID {
+		in.mu.Lock()
+		in.self = append(in.self, p)
+		in.mu.Unlock()
+		return
+	}
+	if int(to) < 0 || int(to) >= in.node.cfg.N {
+		return
+	}
+	if l := in.node.links[to]; l != nil {
+		in.sent.Add(1)
+		l.enqueue(wire.Proto{Instance: in.id, From: in.node.cfg.ID, Payload: p})
+	}
+}
+
+// Broadcast sends p to every process, itself included.
+func (a *instanceAPI) Broadcast(p types.Payload) {
+	for i := 0; i < a.in.node.cfg.N; i++ {
+		a.Send(types.ProcessID(i), p)
+	}
+}
+
+// Decide records the local decision, stamps the latency, and announces it to
+// every peer so that each node can assemble the full decision table.
+func (a *instanceAPI) Decide(v types.Value) {
+	in := a.in
+	in.mu.Lock()
+	already := in.decided
+	if !already {
+		in.decided = true
+		in.rows[in.node.cfg.ID] = wire.TableRow{Decided: true, Value: v}
+	}
+	in.mu.Unlock()
+	if already {
+		in.node.logf("cluster: instance %d decided twice", in.id)
+		return
+	}
+	in.latencyUS.Store(time.Since(in.startedAt).Microseconds())
+	in.node.broadcastPeers(wire.Decide{Instance: in.id, Node: in.node.cfg.ID, Value: v})
+}
+
+// HasDecided reports whether Decide has been called.
+func (a *instanceAPI) HasDecided() bool {
+	in := a.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.decided
+}

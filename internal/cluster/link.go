@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"kset/internal/prng"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// link is the outbound half of one peer relationship: a persistent TCP
+// connection this node dials to a peer, an outbound queue of sequenced
+// frames, and the retransmit state that makes the channel reliable over the
+// injected faults. The inbound half (frames the peer sends us) arrives on
+// the connection the peer dials and is handled by Node.serveConn.
+//
+// Concurrency: the queue, ack list, and partition flag are guarded by mu and
+// touched by enqueuers (instance goroutines), the ack path (inbound reader
+// goroutines) and the writer. The connection and the fault rng belong to the
+// writer goroutine alone.
+type link struct {
+	node *Node
+	peer types.ProcessID
+	addr string
+
+	mu      sync.Mutex
+	queue   []pendingFrame // unacked sequenced frames in seq order
+	nextSeq uint64         // next sequence number to assign (first is 1)
+	acks    []uint64       // outgoing transport acks, fire-and-forget
+	down    bool           // partitioned: hold all traffic
+	closed  bool
+
+	// wake signals the writer that there is new work (capacity 1).
+	wake chan struct{}
+
+	// Writer-goroutine state.
+	conn       net.Conn
+	bw         *bufio.Writer
+	rng        *prng.Source
+	backoff    time.Duration
+	nextDialAt time.Time
+}
+
+// pendingFrame is one sequenced frame awaiting acknowledgment.
+type pendingFrame struct {
+	seq uint64
+	msg wire.Msg
+	// lastAttempt is the time of the last transmission attempt (zero:
+	// never attempted); retransmission is due when it is older than the
+	// retransmit interval.
+	lastAttempt time.Time
+	// notBefore holds the frame back until the given time (injected
+	// delay).
+	notBefore time.Time
+}
+
+func newLink(n *Node, peer types.ProcessID, addr string) *link {
+	return &link{
+		node: n,
+		peer: peer,
+		addr: addr,
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// enqueue assigns the next sequence number to m (a Proto or Decide frame)
+// and queues it for reliable delivery.
+func (l *link) enqueue(m wire.Msg) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.nextSeq++
+	seq := l.nextSeq
+	switch v := m.(type) {
+	case wire.Proto:
+		v.Seq = seq
+		m = v
+	case wire.Decide:
+		v.Seq = seq
+		m = v
+	}
+	l.queue = append(l.queue, pendingFrame{seq: seq, msg: m})
+	l.mu.Unlock()
+	l.signal()
+}
+
+// enqueueAck queues a transport ack. Acks are not themselves sequenced or
+// retransmitted: a lost ack is recovered by the peer's retransmission, which
+// we re-ack.
+func (l *link) enqueueAck(seq uint64) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.acks = append(l.acks, seq)
+	l.mu.Unlock()
+	l.signal()
+}
+
+// ack removes a frame the peer confirmed.
+func (l *link) ack(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.queue {
+		if l.queue[i].seq == seq {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+}
+
+// setDown partitions or heals the link. While down, nothing is sent; queued
+// frames accumulate and flow (via retransmission) once healed.
+func (l *link) setDown(down bool) {
+	l.mu.Lock()
+	l.down = down
+	l.mu.Unlock()
+	if !down {
+		l.signal()
+	}
+}
+
+func (l *link) signal() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// close marks the link closed; the writer goroutine tears the connection
+// down when it exits.
+func (l *link) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.signal()
+}
+
+// writer is the link's goroutine: it dials (and re-dials with exponential
+// backoff), applies the fault injector, retransmits unacked frames, and
+// flushes acks. It exits when the node shuts down or the link is closed.
+func (l *link) writer() {
+	defer l.node.wg.Done()
+	defer l.dropConn()
+	cfg := &l.node.cfg
+	l.rng = prng.New(cfg.Seed + 0x9e37*uint64(l.peer) + 1)
+	tick := time.NewTicker(cfg.Retransmit / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.node.done:
+			return
+		case <-l.wake:
+		case <-tick.C:
+		}
+		if l.isClosed() {
+			return
+		}
+		l.flush()
+	}
+}
+
+func (l *link) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// flush performs one round of work: send pending acks, transmit new or
+// retransmission-due frames (each attempt rolled through the fault
+// injector), all outside the lock.
+func (l *link) flush() {
+	now := time.Now()
+	l.mu.Lock()
+	if l.down {
+		l.mu.Unlock()
+		return
+	}
+	acks := l.acks
+	l.acks = nil
+	var sends []wire.Msg
+	for i := range l.queue {
+		p := &l.queue[i]
+		if now.Before(p.notBefore) {
+			continue
+		}
+		isNew := p.lastAttempt.IsZero()
+		if !isNew && now.Sub(p.lastAttempt) < l.node.cfg.Retransmit {
+			continue
+		}
+		if !isNew {
+			l.node.stats.retransmits.Add(1)
+		}
+		switch l.node.cfg.Faults.roll(l.rng) {
+		case actDrop:
+			l.node.stats.dropsInjected.Add(1)
+			p.lastAttempt = now
+		case actDelay:
+			// Only dilate frames that have never been sent; a retransmission
+			// is already late.
+			if isNew {
+				l.node.stats.delaysInjected.Add(1)
+				p.notBefore = now.Add(l.node.cfg.Faults.delay(l.rng))
+				continue
+			}
+			p.lastAttempt = now
+			sends = append(sends, p.msg)
+		case actDup:
+			l.node.stats.dupsInjected.Add(1)
+			p.lastAttempt = now
+			sends = append(sends, p.msg, p.msg)
+		default:
+			p.lastAttempt = now
+			sends = append(sends, p.msg)
+		}
+	}
+	l.mu.Unlock()
+
+	if len(acks) == 0 && len(sends) == 0 {
+		return
+	}
+	if !l.ensureConn() {
+		return
+	}
+	for _, seq := range acks {
+		l.write(wire.Ack{Seq: seq})
+	}
+	for _, m := range sends {
+		if l.write(m) {
+			l.node.stats.framesSent.Add(1)
+		}
+	}
+	if l.bw != nil {
+		if l.conn != nil {
+			l.conn.SetWriteDeadline(time.Now().Add(l.node.cfg.WriteTimeout))
+		}
+		if err := l.bw.Flush(); err != nil {
+			l.connFailed()
+		}
+	}
+}
+
+// ensureConn dials the peer if no connection is up, honoring the backoff
+// window, and sends the identifying Hello on success.
+func (l *link) ensureConn() bool {
+	if l.conn != nil {
+		return true
+	}
+	now := time.Now()
+	if now.Before(l.nextDialAt) {
+		return false
+	}
+	conn, err := net.DialTimeout("tcp", l.addr, l.node.cfg.DialTimeout)
+	if err != nil {
+		if l.backoff == 0 {
+			l.backoff = 25 * time.Millisecond
+		} else {
+			l.backoff *= 2
+			if l.backoff > time.Second {
+				l.backoff = time.Second
+			}
+		}
+		l.nextDialAt = now.Add(l.backoff)
+		return false
+	}
+	l.backoff = 0
+	l.nextDialAt = time.Time{}
+	l.conn = conn
+	l.bw = bufio.NewWriter(conn)
+	l.node.stats.connects.Add(1)
+	hello := wire.Hello{
+		From:    l.node.cfg.ID,
+		Role:    wire.RolePeer,
+		N:       l.node.cfg.N,
+		Session: l.node.session,
+	}
+	if !l.write(hello) {
+		return false
+	}
+	return true
+}
+
+// write encodes one frame into the buffered writer, applying the write
+// deadline. On failure the connection is torn down (the writer re-dials on
+// the next round) and queued frames survive for retransmission.
+func (l *link) write(m wire.Msg) bool {
+	if l.conn == nil {
+		return false
+	}
+	l.conn.SetWriteDeadline(time.Now().Add(l.node.cfg.WriteTimeout))
+	if err := wire.WriteMsg(l.bw, m); err != nil {
+		l.connFailed()
+		return false
+	}
+	return true
+}
+
+func (l *link) connFailed() {
+	l.dropConn()
+	l.node.stats.connFailures.Add(1)
+}
+
+func (l *link) dropConn() {
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+		l.bw = nil
+	}
+}

@@ -1,0 +1,571 @@
+// Package cluster is the real-network runtime of the reproduction: a node
+// daemon that serves any number of concurrent k-set consensus instances over
+// persistent TCP connections to its peers, running the same
+// internal/protocols implementations — unchanged — that the deterministic
+// simulator (internal/mpnet) and the goroutine runtime (internal/mplive)
+// execute.
+//
+// The paper's asynchronous message-passing model promises a reliable
+// complete network with arbitrary finite delays. TCP gives reliability only
+// per connection; the cluster transport extends it across connection loss,
+// reconnection, and an adversarial fault injector (drop/delay/duplicate/
+// partition, seeded) by sequencing every peer frame and retransmitting until
+// acknowledged, with duplicate suppression on the receiving side. Liveness
+// therefore holds exactly under the paper's assumption — every message is
+// eventually delivered — while the schedule stays genuinely hostile.
+//
+// Decisions are validated by internal/checker from assembled decision
+// tables, exactly like simulator runs: a node cannot self-certify.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// Errors reported by the node runtime.
+var (
+	ErrBadConfig = errors.New("cluster: invalid configuration")
+	ErrClosed    = errors.New("cluster: node closed")
+)
+
+// Config describes one cluster node.
+type Config struct {
+	// ID is this node's process id, 0..N-1.
+	ID types.ProcessID
+	// N is the cluster size; K and T are the default agreement and fault
+	// bounds for instances whose Start does not override them.
+	N, K, T int
+	// Peers[i] is the address of node i. Peers[ID] is this node's
+	// advertised address (never dialed).
+	Peers []string
+	// Listen is the address to bind; empty means Peers[ID].
+	Listen string
+	// DefaultProto and DefaultEll name the witness protocol run when a
+	// Start frame carries protocol 0.
+	DefaultProto theory.ProtocolID
+	DefaultEll   int
+	// Seed drives the per-link fault injection streams and per-instance
+	// protocol randomness.
+	Seed uint64
+	// Faults configures the transport fault injector.
+	Faults Faults
+	// DialTimeout, WriteTimeout and Retransmit tune the transport; zero
+	// selects the defaults (1s, 2s, 50ms).
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
+	Retransmit   time.Duration
+	// Logf, if non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// maxPendingFrames bounds the frames buffered for an instance that has not
+// been started locally yet (its Start is still in flight). Beyond the bound
+// frames are dropped unacknowledged, so the peer keeps retransmitting; the
+// bound only exists so a hostile peer cannot grow memory without limit.
+const maxPendingFrames = 1 << 16
+
+// Node is one cluster member: a TCP listener, one outbound link per peer,
+// and a set of running consensus instances.
+type Node struct {
+	cfg     Config
+	session uint64
+	ln      net.Listener
+	links   []*link // indexed by peer id; links[cfg.ID] is nil
+
+	mu        sync.Mutex
+	instances map[uint64]*instance
+	order     []uint64 // instance ids in creation order
+	pending   map[uint64][]wire.Msg
+	seen      []peerSeen // per-peer duplicate suppression
+	conns     []net.Conn // accepted connections, for shutdown
+	closed    bool
+
+	stats nodeStats
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// peerSeen suppresses re-deliveries of retransmitted or duplicated frames
+// from one peer: contig says every sequence number in [1, contig] was
+// accepted; sparse holds accepted numbers above it.
+type peerSeen struct {
+	session uint64
+	contig  uint64
+	sparse  map[uint64]bool
+}
+
+// nodeStats are the transport-level counters exposed through PullStats.
+type nodeStats struct {
+	framesSent     atomic.Int64
+	framesRecv     atomic.Int64
+	retransmits    atomic.Int64
+	dropsInjected  atomic.Int64
+	delaysInjected atomic.Int64
+	dupsInjected   atomic.Int64
+	connects       atomic.Int64
+	connFailures   atomic.Int64
+	decidesRecv    atomic.Int64
+}
+
+// NewNode validates the configuration and constructs a node. Call Serve (or
+// Start) to begin operation.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.N <= 0 || cfg.N > wire.MaxProcs {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadConfig, cfg.N)
+	}
+	if int(cfg.ID) < 0 || int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("%w: id %d for n=%d", ErrBadConfig, cfg.ID, cfg.N)
+	}
+	if len(cfg.Peers) != cfg.N {
+		return nil, fmt.Errorf("%w: %d peer addresses for n=%d", ErrBadConfig, len(cfg.Peers), cfg.N)
+	}
+	if cfg.K <= 0 || cfg.T < 0 || cfg.T >= cfg.N {
+		return nil, fmt.Errorf("%w: k=%d t=%d", ErrBadConfig, cfg.K, cfg.T)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 2 * time.Second
+	}
+	if cfg.Retransmit <= 0 {
+		cfg.Retransmit = 50 * time.Millisecond
+	}
+	if cfg.DefaultProto == theory.ProtoNone {
+		cfg.DefaultProto = theory.ProtoFloodMin
+	}
+	n := &Node{
+		cfg:       cfg,
+		session:   uint64(time.Now().UnixNano()),
+		instances: make(map[uint64]*instance),
+		pending:   make(map[uint64][]wire.Msg),
+		seen:      make([]peerSeen, cfg.N),
+		links:     make([]*link, cfg.N),
+		done:      make(chan struct{}),
+	}
+	for i := 0; i < cfg.N; i++ {
+		if types.ProcessID(i) == cfg.ID {
+			continue
+		}
+		n.links[i] = newLink(n, types.ProcessID(i), cfg.Peers[i])
+	}
+	return n, nil
+}
+
+// Start listens on the configured address and serves until Close.
+func (n *Node) Start() error {
+	addr := n.cfg.Listen
+	if addr == "" {
+		addr = n.cfg.Peers[n.cfg.ID]
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	n.Serve(ln)
+	return nil
+}
+
+// Serve begins operation on an already-bound listener (the loopback
+// orchestrator binds :0 listeners first to learn the port numbers). It
+// returns immediately; the node runs until Close.
+func (n *Node) Serve(ln net.Listener) {
+	n.ln = ln
+	for _, l := range n.links {
+		if l == nil {
+			continue
+		}
+		n.wg.Add(1)
+		go l.writer()
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+}
+
+// Addr returns the bound listener address (useful with :0 listeners).
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Close shuts the node down: stops the listener, severs every connection,
+// and waits for all goroutines to exit. Safe to call more than once.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = nil
+	n.mu.Unlock()
+
+	close(n.done)
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, l := range n.links {
+		if l != nil {
+			l.close()
+		}
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// acceptLoop accepts inbound connections until the listener closes.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !n.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// trackConn registers an accepted connection for shutdown; it reports false
+// when the node is already closed.
+func (n *Node) trackConn(conn net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.conns = append(n.conns, conn)
+	return true
+}
+
+func (n *Node) untrackConn(conn net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, c := range n.conns {
+		if c == conn {
+			n.conns = append(n.conns[:i], n.conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// serveConn handles one inbound connection: a Hello identifying the sender,
+// then peer frames (proto/decide/ack) or control requests (start/pulls)
+// until the stream ends.
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	defer n.untrackConn(conn)
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	first, err := wire.ReadMsg(conn)
+	if err != nil {
+		return
+	}
+	hello, ok := first.(wire.Hello)
+	if !ok {
+		n.logf("cluster: first frame was %v, want hello", first.Type())
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch hello.Role {
+	case wire.RolePeer:
+		if int(hello.From) < 0 || int(hello.From) >= n.cfg.N || hello.From == n.cfg.ID {
+			n.logf("cluster: hello from invalid peer %d", hello.From)
+			return
+		}
+		if hello.N != n.cfg.N {
+			n.logf("cluster: peer %v believes n=%d, ours is %d", hello.From, hello.N, n.cfg.N)
+			return
+		}
+		n.resetSeenIfNewSession(hello.From, hello.Session)
+		n.servePeer(conn, hello.From)
+	case wire.RoleCtl:
+		n.serveCtl(conn)
+	}
+}
+
+// resetSeenIfNewSession clears duplicate-suppression state when a peer
+// reappears with a new process incarnation: its sequence space restarted and
+// its old process cannot emit frames anymore.
+func (n *Node) resetSeenIfNewSession(peer types.ProcessID, session uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := &n.seen[peer]
+	if s.session != session {
+		s.session = session
+		s.contig = 0
+		s.sparse = nil
+	}
+}
+
+// servePeer consumes frames from one peer connection.
+func (n *Node) servePeer(conn net.Conn, from types.ProcessID) {
+	for {
+		m, err := wire.ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		n.stats.framesRecv.Add(1)
+		switch v := m.(type) {
+		case wire.Ack:
+			if l := n.links[from]; l != nil {
+				l.ack(v.Seq)
+			}
+		case wire.Proto:
+			// The transport stamps the authentic sender, as mpnet's network
+			// does: a frame claiming another origin is dropped.
+			if v.From != from {
+				n.logf("cluster: peer %v forged sender %v", from, v.From)
+				continue
+			}
+			n.handleSequenced(from, v.Seq, m)
+		case wire.Decide:
+			if v.Node != from {
+				n.logf("cluster: peer %v forged decide for %v", from, v.Node)
+				continue
+			}
+			n.stats.decidesRecv.Add(1)
+			n.handleSequenced(from, v.Seq, m)
+		default:
+			n.logf("cluster: unexpected %v frame on peer connection", m.Type())
+		}
+	}
+}
+
+// handleSequenced runs the reliability protocol for one sequenced frame:
+// suppress duplicates, place the frame (deliver to its instance, or buffer
+// until the instance starts), and acknowledge.
+func (n *Node) handleSequenced(from types.ProcessID, seq uint64, m wire.Msg) {
+	inst, accepted := n.placeFrame(from, seq, m)
+	if inst != nil {
+		inst.deliverWire(m)
+	}
+	if accepted {
+		if l := n.links[from]; l != nil {
+			l.enqueueAck(seq)
+		}
+	}
+}
+
+// placeFrame decides one frame's fate under the node lock: duplicate
+// (re-ack, no delivery), deliverable (returns the instance; delivery happens
+// outside the lock), bufferable (stored until the instance starts), or
+// droppable (pending buffer full: not acknowledged, the peer will retry).
+func (n *Node) placeFrame(from types.ProcessID, seq uint64, m wire.Msg) (*instance, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, false
+	}
+	s := &n.seen[from]
+	if seq <= s.contig || s.sparse[seq] {
+		return nil, true // duplicate: already accepted, just re-ack
+	}
+	id := instanceOf(m)
+	inst := n.instances[id]
+	if inst == nil {
+		if len(n.pending[id]) >= maxPendingFrames {
+			return nil, false
+		}
+		n.pending[id] = append(n.pending[id], m)
+	}
+	if s.sparse == nil {
+		s.sparse = make(map[uint64]bool)
+	}
+	s.sparse[seq] = true
+	for s.sparse[s.contig+1] {
+		delete(s.sparse, s.contig+1)
+		s.contig++
+	}
+	return inst, true
+}
+
+// instanceOf extracts the instance id of a sequenced frame.
+func instanceOf(m wire.Msg) uint64 {
+	switch v := m.(type) {
+	case wire.Proto:
+		return v.Instance
+	case wire.Decide:
+		return v.Instance
+	}
+	return 0
+}
+
+// StartInstance starts (or re-acknowledges) one consensus instance with the
+// given local input. Zero K/T/Proto select the node defaults. It is the
+// local half of the ctl Start frame and is what tests call directly.
+func (n *Node) StartInstance(s wire.Start) error {
+	k, t := s.K, s.T
+	if k == 0 {
+		k = n.cfg.K
+	}
+	if t == 0 {
+		t = n.cfg.T
+	}
+	proto := theory.ProtocolID(s.Proto)
+	ell := s.Ell
+	if proto == theory.ProtoNone {
+		proto, ell = n.cfg.DefaultProto, n.cfg.DefaultEll
+	}
+	if k <= 0 || t < 0 || t >= n.cfg.N {
+		return fmt.Errorf("%w: instance %d k=%d t=%d", ErrBadConfig, s.Instance, k, t)
+	}
+	inst, backlog, err := n.registerInstance(s.Instance, k, t, proto, ell, s.Input)
+	if err != nil || inst == nil {
+		return err // nil instance: already running, idempotent re-ack
+	}
+	go inst.run(backlog)
+	return nil
+}
+
+// registerInstance creates the instance record under the lock and claims
+// any frames buffered before the Start arrived. The waitgroup slot for the
+// instance goroutine is taken here, under the same lock as the closed check,
+// so Close cannot pass wg.Wait between the check and the Add.
+func (n *Node) registerInstance(id uint64, k, t int, proto theory.ProtocolID, ell int, input types.Value) (*instance, []wire.Msg, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, nil, ErrClosed
+	}
+	if n.instances[id] != nil {
+		return nil, nil, nil
+	}
+	inst, err := newInstance(n, id, k, t, proto, ell, input)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.instances[id] = inst
+	n.order = append(n.order, id)
+	backlog := n.pending[id]
+	delete(n.pending, id)
+	n.wg.Add(1)
+	return inst, backlog, nil
+}
+
+// lookup returns a running instance.
+func (n *Node) lookup(id uint64) *instance {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.instances[id]
+}
+
+// broadcastPeers enqueues one sequenced frame to every peer link.
+func (n *Node) broadcastPeers(m wire.Msg) {
+	for _, l := range n.links {
+		if l != nil {
+			l.enqueue(m)
+		}
+	}
+}
+
+// SetPeerDown partitions (or heals) this node's outbound link to one peer.
+// Tests flap links with it; a symmetric partition needs the call on both
+// sides.
+func (n *Node) SetPeerDown(peer types.ProcessID, down bool) {
+	if int(peer) < 0 || int(peer) >= len(n.links) {
+		return
+	}
+	if l := n.links[peer]; l != nil {
+		l.setDown(down)
+	}
+}
+
+// Table returns the node's current decision table for an instance, or false
+// if the instance is unknown.
+func (n *Node) Table(id uint64) (wire.Table, bool) {
+	inst := n.lookup(id)
+	if inst == nil {
+		return wire.Table{}, false
+	}
+	return inst.tableSnapshot(), true
+}
+
+// Stats assembles the expvar-style counter dump: node transport counters
+// first, then per-instance counters in ascending instance-id order.
+func (n *Node) Stats() []wire.StatPair {
+	pairs := []wire.StatPair{
+		{Name: "node.id", Value: int64(n.cfg.ID)},
+		{Name: "node.frames_sent", Value: n.stats.framesSent.Load()},
+		{Name: "node.frames_recv", Value: n.stats.framesRecv.Load()},
+		{Name: "node.retransmits", Value: n.stats.retransmits.Load()},
+		{Name: "node.faults.drop", Value: n.stats.dropsInjected.Load()},
+		{Name: "node.faults.delay", Value: n.stats.delaysInjected.Load()},
+		{Name: "node.faults.dup", Value: n.stats.dupsInjected.Load()},
+		{Name: "node.connects", Value: n.stats.connects.Load()},
+		{Name: "node.conn_failures", Value: n.stats.connFailures.Load()},
+		{Name: "node.decides_recv", Value: n.stats.decidesRecv.Load()},
+	}
+	n.mu.Lock()
+	ids := append([]uint64(nil), n.order...)
+	n.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if inst := n.lookup(id); inst != nil {
+			pairs = append(pairs, inst.statPairs()...)
+		}
+	}
+	return pairs
+}
+
+// serveCtl answers control requests on one controller connection,
+// request-reply, one writer (this goroutine).
+func (n *Node) serveCtl(conn net.Conn) {
+	for {
+		m, err := wire.ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		var reply wire.Msg
+		switch v := m.(type) {
+		case wire.Start:
+			if err := n.StartInstance(v); err != nil {
+				n.logf("cluster: start instance %d: %v", v.Instance, err)
+				return
+			}
+			reply = wire.StartAck{Instance: v.Instance, From: n.cfg.ID}
+		case wire.PullTable:
+			tbl, ok := n.Table(v.Instance)
+			if !ok {
+				tbl = wire.Table{Instance: v.Instance}
+			}
+			reply = tbl
+		case wire.PullStats:
+			reply = wire.Stats{Pairs: n.Stats()}
+		default:
+			n.logf("cluster: unexpected %v frame on ctl connection", m.Type())
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+		if err := wire.WriteMsg(conn, reply); err != nil {
+			return
+		}
+	}
+}

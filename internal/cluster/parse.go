@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"kset/internal/theory"
+)
+
+// ParseProtocol maps a command-line protocol name to its identifier. The
+// cluster runtime hosts the message-passing protocols; SIMULATION-only rows
+// (Protocols E and F) and the shared-memory side are not valid here.
+func ParseProtocol(s string) (theory.ProtocolID, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "floodmin":
+		return theory.ProtoFloodMin, nil
+	case "a", "protocol-a":
+		return theory.ProtoA, nil
+	case "b", "protocol-b":
+		return theory.ProtoB, nil
+	case "c", "protocol-c":
+		return theory.ProtoC, nil
+	case "d", "protocol-d":
+		return theory.ProtoD, nil
+	case "trivial":
+		return theory.ProtoTrivial, nil
+	default:
+		return theory.ProtoNone, fmt.Errorf("cluster: unknown protocol %q (want floodmin, a, b, c, d, or trivial)", s)
+	}
+}

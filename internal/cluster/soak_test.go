@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// TestClusterSoak is the race-enabled soak run the Makefile's race-live and
+// cluster-smoke targets execute: a 5-node loopback TCP cluster with an
+// adversarial transport (seeded drops, delays, duplicates), one crashed
+// node, and one flapping link, serving concurrent FloodMin and Protocol A
+// instances. Every surviving node's decision table must pass the full
+// checker for the protocol's validity condition.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		n         = 5
+		k         = 2
+		tt        = 1 // fault bound: the one crashed node
+		crashed   = 4
+		instances = 8
+		seed      = 0xC0FFEE
+	)
+	lb, err := StartLoopback(LoopbackConfig{
+		N: n, K: k, T: tt,
+		Seed: seed,
+		Faults: Faults{
+			Drop:     0.15,
+			Dup:      0.10,
+			Delay:    0.20,
+			MaxDelay: 5 * time.Millisecond,
+		},
+		Retransmit: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	// Node 4 crashes before any instance starts: the paper's crash failure,
+	// here a closed TCP endpoint its peers keep trying to reach.
+	lb.Crash(crashed)
+	survivors := allAlive(n)
+	survivors[crashed] = false
+
+	// Flap the directed link 0 -> 1 while instances run: partition, heal,
+	// repeat. The retransmit layer must carry every frame across the heals,
+	// so liveness holds exactly under the paper's eventual-delivery
+	// assumption.
+	flapDone := make(chan struct{})
+	go func() {
+		defer close(flapDone)
+		for i := 0; i < 10; i++ {
+			lb.SetLinkDown(0, 1, true)
+			time.Sleep(15 * time.Millisecond)
+			lb.SetLinkDown(0, 1, false)
+			time.Sleep(15 * time.Millisecond)
+		}
+	}()
+
+	// Start the instances through the control path, as ksetctl would:
+	// even ids run FloodMin (SC(k,t,RV1), t < k), odd ids run Protocol A
+	// (SC(k,t,RV2), t < (k-1)n/k). Both bounds hold at n=5, k=2, t=1.
+	protoFor := func(id uint64) (theory.ProtocolID, types.Validity) {
+		if id%2 == 0 {
+			return theory.ProtoFloodMin, types.RV1
+		}
+		return theory.ProtoA, types.RV2
+	}
+	inputsFor := func(id uint64) []types.Value {
+		inputs := make([]types.Value, n)
+		for i := range inputs {
+			inputs[i] = types.Value(int(id)*100 + i + 1)
+		}
+		return inputs
+	}
+
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		if !survivors[i] {
+			continue
+		}
+		c, err := DialNode(lb.Addrs[i], 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	for id := uint64(1); id <= instances; id++ {
+		proto, _ := protoFor(id)
+		inputs := inputsFor(id)
+		for i := 0; i < n; i++ {
+			if clients[i] == nil {
+				continue
+			}
+			err := clients[i].Start(wire.Start{
+				Instance: id, K: k, T: tt, Proto: uint8(proto), Input: inputs[i],
+			})
+			if err != nil {
+				t.Fatalf("start instance %d on node %d: %v", id, i, err)
+			}
+		}
+	}
+
+	// Every surviving node must assemble a checker-clean decision table for
+	// every instance: all four survivors decided, at most k distinct values,
+	// and the protocol's validity condition. The crashed node's undecided
+	// row is the one allowed fault (t=1).
+	deadline := time.Now().Add(60 * time.Second)
+	for id := uint64(1); id <= instances; id++ {
+		proto, validity := protoFor(id)
+		inputs := inputsFor(id)
+		for i := 0; i < n; i++ {
+			if clients[i] == nil {
+				continue
+			}
+			tbl := awaitClientTable(t, clients[i], id, survivors, deadline)
+			rec, err := VerifyTable(tbl, inputs, validity, seed)
+			if err != nil {
+				t.Errorf("instance %d (%v) on node %d: %v\nrecord: %v", id, proto, i, err, rec)
+			}
+		}
+	}
+	<-flapDone
+
+	// The transport counters must show the adversary actually fired and the
+	// reliability layer actually worked.
+	pairs, err := clients[0].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := make(map[string]int64, len(pairs))
+	for _, p := range pairs {
+		stats[p.Name] = p.Value
+	}
+	for _, name := range []string{"node.faults.drop", "node.retransmits"} {
+		if stats[name] <= 0 {
+			t.Errorf("stats: %s = %d, want > 0 (fault injection did not engage)", name, stats[name])
+		}
+	}
+	for id := uint64(1); id <= instances; id++ {
+		name := fmt.Sprintf("inst.%d.latency_us", id)
+		if stats[name] <= 0 {
+			t.Errorf("stats: %s = %d, want > 0", name, stats[name])
+		}
+	}
+}
+
+// awaitClientTable polls a node's table through its control connection until
+// every survivor's row is decided.
+func awaitClientTable(t *testing.T, c *Client, instance uint64, survivors []bool, deadline time.Time) wire.Table {
+	t.Helper()
+	for {
+		tbl, err := c.Table(instance)
+		if err != nil {
+			t.Fatalf("pull table for instance %d: %v", instance, err)
+		}
+		if tableComplete(tbl, survivors) {
+			return tbl
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance %d incomplete at deadline: %+v", instance, tbl)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

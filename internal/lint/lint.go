@@ -72,8 +72,12 @@ func DefaultAnalyzers() []Analyzer {
 
 // DefaultScopes maps each analyzer to the import-path prefixes it audits.
 // The determinism contract covers every package that executes or inspects
-// simulated runs; the lock discipline contract covers the runtimes that use
-// real mutexes (the live ones, plus smmem's turn-based goroutine pool).
+// simulated runs, plus the wire codec (pure computation by design); the lock
+// discipline contract covers the runtimes that use real mutexes (the live
+// ones, smmem's turn-based goroutine pool, and the cluster runtime). The
+// cluster runtime is inherently nondeterministic (real network, real clocks)
+// so it stays out of the determinism scope, but its map iteration and
+// randomness sourcing are held to the same standard as the simulators.
 func DefaultScopes() map[string][]string {
 	deterministic := []string{
 		"kset/internal/protocols",
@@ -87,15 +91,45 @@ func DefaultScopes() map[string][]string {
 		"kset/internal/report",
 		"kset/internal/trace",
 		"kset/internal/shrink",
+		"kset/internal/wire",
 	}
 	return map[string][]string{
 		"determinism": deterministic,
-		"maporder":    deterministic,
-		"prngflow":    deterministic,
+		"maporder": {
+			"kset/internal/protocols",
+			"kset/internal/mpnet",
+			"kset/internal/smmem",
+			"kset/internal/adversary",
+			"kset/internal/checker",
+			"kset/internal/exhaustive",
+			"kset/internal/theory",
+			"kset/internal/harness",
+			"kset/internal/report",
+			"kset/internal/trace",
+			"kset/internal/shrink",
+			"kset/internal/wire",
+			"kset/internal/cluster",
+		},
+		"prngflow": {
+			"kset/internal/protocols",
+			"kset/internal/mpnet",
+			"kset/internal/smmem",
+			"kset/internal/adversary",
+			"kset/internal/checker",
+			"kset/internal/exhaustive",
+			"kset/internal/theory",
+			"kset/internal/harness",
+			"kset/internal/report",
+			"kset/internal/trace",
+			"kset/internal/shrink",
+			"kset/internal/wire",
+			"kset/internal/cluster",
+		},
 		"lockdiscipline": {
 			"kset/internal/mplive",
 			"kset/internal/smlive",
 			"kset/internal/smmem",
+			"kset/internal/cluster",
 		},
 	}
 }

@@ -1,0 +1,381 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"kset/internal/types"
+)
+
+// Encode serializes one message into a frame body (version, type, fields —
+// without the stream length prefix; see WriteMsg). It rejects messages whose
+// fields cannot be represented on the wire, so a successful Encode always
+// yields a body Decode accepts and maps back to the identical message.
+func Encode(m Msg) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u8(Version)
+	e.u8(uint8(m.Type()))
+	switch v := m.(type) {
+	case Hello:
+		e.pid(int64(v.From), -1)
+		if v.Role != RolePeer && v.Role != RoleCtl {
+			return nil, fmt.Errorf("%w: hello role %d", ErrBadFrame, v.Role)
+		}
+		e.u8(uint8(v.Role))
+		e.count(v.N, MaxProcs, "hello n")
+		e.u64(v.Session)
+	case Start:
+		e.u64(v.Instance)
+		e.count(v.K, MaxProcs, "start k")
+		e.count(v.T, MaxProcs, "start t")
+		e.u8(v.Proto)
+		e.count(v.Ell, MaxProcs, "start ell")
+		e.i64(int64(v.Input))
+	case StartAck:
+		e.u64(v.Instance)
+		e.pid(int64(v.From), 0)
+	case Proto:
+		e.u64(v.Seq)
+		e.u64(v.Instance)
+		e.pid(int64(v.From), 0)
+		e.u8(uint8(v.Payload.Kind))
+		e.i64(int64(v.Payload.Value))
+		e.pid(int64(v.Payload.Origin), 0)
+	case Ack:
+		e.u64(v.Seq)
+	case Decide:
+		e.u64(v.Seq)
+		e.u64(v.Instance)
+		e.pid(int64(v.Node), 0)
+		e.i64(int64(v.Value))
+	case PullTable:
+		e.u64(v.Instance)
+	case Table:
+		e.u64(v.Instance)
+		e.count(v.K, MaxProcs, "table k")
+		e.count(v.T, MaxProcs, "table t")
+		e.count(len(v.Rows), MaxProcs, "table rows")
+		for _, r := range v.Rows {
+			if r.Decided {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+			e.i64(int64(r.Value))
+		}
+	case PullStats:
+		// No fields.
+	case Stats:
+		e.count(len(v.Pairs), MaxStatsPairs, "stats pairs")
+		for _, p := range v.Pairs {
+			if len(p.Name) > MaxName {
+				return nil, fmt.Errorf("%w: stats name %d bytes", ErrTooLarge, len(p.Name))
+			}
+			e.u16(uint16(len(p.Name)))
+			e.buf = append(e.buf, p.Name...)
+			e.i64(p.Value)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown message %T", ErrBadFrame, m)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	if len(e.buf) > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(e.buf))
+	}
+	return e.buf, nil
+}
+
+// Decode parses one frame body. It is strict: the version and type must be
+// known, every count must respect the package limits, and the body must be
+// exactly the length its type demands — trailing bytes are an error.
+func Decode(body []byte) (Msg, error) {
+	d := &decoder{buf: body}
+	if v := d.u8(); v != Version {
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	t := MsgType(d.u8())
+	var m Msg
+	switch t {
+	case TypeHello:
+		h := Hello{}
+		h.From = types.ProcessID(d.pid(-1))
+		role := Role(d.u8())
+		if d.err == nil && role != RolePeer && role != RoleCtl {
+			return nil, fmt.Errorf("%w: hello role %d", ErrBadFrame, role)
+		}
+		h.Role = role
+		h.N = d.count(MaxProcs, "hello n")
+		h.Session = d.u64()
+		m = h
+	case TypeStart:
+		s := Start{}
+		s.Instance = d.u64()
+		s.K = d.count(MaxProcs, "start k")
+		s.T = d.count(MaxProcs, "start t")
+		s.Proto = d.u8()
+		s.Ell = d.count(MaxProcs, "start ell")
+		s.Input = types.Value(d.i64())
+		m = s
+	case TypeStartAck:
+		m = StartAck{Instance: d.u64(), From: types.ProcessID(d.pid(0))}
+	case TypeProto:
+		p := Proto{}
+		p.Seq = d.u64()
+		p.Instance = d.u64()
+		p.From = types.ProcessID(d.pid(0))
+		p.Payload.Kind = types.MsgKind(d.u8())
+		p.Payload.Value = types.Value(d.i64())
+		p.Payload.Origin = types.ProcessID(d.pid(0))
+		m = p
+	case TypeAck:
+		m = Ack{Seq: d.u64()}
+	case TypeDecide:
+		dc := Decide{}
+		dc.Seq = d.u64()
+		dc.Instance = d.u64()
+		dc.Node = types.ProcessID(d.pid(0))
+		dc.Value = types.Value(d.i64())
+		m = dc
+	case TypePullTable:
+		m = PullTable{Instance: d.u64()}
+	case TypeTable:
+		tb := Table{}
+		tb.Instance = d.u64()
+		tb.K = d.count(MaxProcs, "table k")
+		tb.T = d.count(MaxProcs, "table t")
+		rows := d.count(MaxProcs, "table rows")
+		if d.err == nil {
+			// Each row is at least 9 bytes; reject counts the remaining
+			// bytes cannot satisfy before allocating.
+			if rem := len(d.buf) - d.off; rows*9 > rem {
+				return nil, fmt.Errorf("%w: %d table rows in %d bytes", ErrBadFrame, rows, rem)
+			}
+			tb.Rows = make([]TableRow, rows)
+			for i := range tb.Rows {
+				tb.Rows[i].Decided = d.bool()
+				tb.Rows[i].Value = types.Value(d.i64())
+			}
+		}
+		m = tb
+	case TypePullStats:
+		m = PullStats{}
+	case TypeStats:
+		st := Stats{}
+		pairs := d.count(MaxStatsPairs, "stats pairs")
+		if d.err == nil {
+			if rem := len(d.buf) - d.off; pairs*10 > rem {
+				return nil, fmt.Errorf("%w: %d stats pairs in %d bytes", ErrBadFrame, pairs, rem)
+			}
+			st.Pairs = make([]StatPair, pairs)
+			for i := range st.Pairs {
+				st.Pairs[i].Name = d.name()
+				st.Pairs[i].Value = d.i64()
+			}
+		}
+		m = st
+	default:
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, uint8(t))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %v", ErrBadFrame, len(d.buf)-d.off, t)
+	}
+	return m, nil
+}
+
+// WriteMsg encodes m and writes it as one length-prefixed frame.
+func WriteMsg(w io.Writer, m Msg) error {
+	body, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMsg reads one length-prefixed frame and decodes it. The length prefix
+// is bounds-checked against MaxFrame before any allocation.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Decode(body)
+}
+
+// encoder appends big-endian fields, latching the first range error.
+type encoder struct {
+	buf []byte
+	err error
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(v)) }
+
+// pid encodes a process id, which must lie in [min, MaxProcs).
+func (e *encoder) pid(v int64, min int64) {
+	if v < min || v >= MaxProcs {
+		e.fail(fmt.Errorf("%w: process id %d out of range [%d, %d)", ErrBadFrame, v, min, MaxProcs))
+		return
+	}
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(int32(v)))
+}
+
+// count encodes a non-negative small integer bounded by limit.
+func (e *encoder) count(v, limit int, what string) {
+	if v < 0 || v > limit {
+		e.fail(fmt.Errorf("%w: %s %d outside [0, %d]", ErrBadFrame, what, v, limit))
+		return
+	}
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(v))
+}
+
+func (e *encoder) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// decoder consumes big-endian fields, latching the first error. Every read
+// checks the remaining length first, so no input can index past the buffer.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf)-d.off < n {
+		d.fail(fmt.Errorf("%w: truncated (need %d bytes, have %d)", ErrBadFrame, n, len(d.buf)-d.off))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+// bool reads a strict boolean: exactly 0 or 1, keeping the encoding
+// canonical.
+func (d *decoder) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail(fmt.Errorf("%w: boolean byte not 0 or 1", ErrBadFrame))
+		return false
+	}
+}
+
+// pid reads a process id and range-checks it against [min, MaxProcs).
+func (d *decoder) pid(min int32) int32 {
+	v := int32(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if v < min || v >= MaxProcs {
+		d.fail(fmt.Errorf("%w: process id %d out of range [%d, %d)", ErrBadFrame, v, min, MaxProcs))
+		return 0
+	}
+	return v
+}
+
+// count reads a bounded non-negative integer.
+func (d *decoder) count(limit int, what string) int {
+	v := d.u32()
+	if d.err != nil {
+		return 0
+	}
+	if int64(v) > int64(limit) {
+		d.fail(fmt.Errorf("%w: %s %d above limit %d", ErrBadFrame, what, v, limit))
+		return 0
+	}
+	return int(v)
+}
+
+// name reads a length-prefixed counter name.
+func (d *decoder) name() string {
+	n := int(d.u16())
+	if d.err != nil {
+		return ""
+	}
+	if n > MaxName {
+		d.fail(fmt.Errorf("%w: name of %d bytes", ErrBadFrame, n))
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,222 @@
+// Package wire defines the versioned binary protocol spoken between ksetd
+// cluster nodes (and between ksetctl and a node): a length-prefixed frame
+// carrying one message — either an mpnet protocol payload in flight between
+// two consensus processes, or one word of the small control vocabulary
+// (hello, instance-start, decide, ack, table/stats pulls).
+//
+// The codec is deliberately boring: fixed-width big-endian integers, one
+// type byte, no compression, no reflection. Decoding is strict — every frame
+// must carry the exact version, a known type, and exactly the bytes its type
+// demands, with every count and length bounds-checked before allocation — so
+// a malformed or hostile peer can be rejected without damage. Encoding is
+// canonical: decode(encode(m)) == m and encode(decode(b)) == b for every
+// accepted b, which FuzzWireRoundTrip enforces.
+//
+// The package is pure computation (no I/O side effects beyond the supplied
+// readers and writers, no clocks, no goroutines) and sits in ksetlint's
+// determinism scope.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"kset/internal/types"
+)
+
+// Version is the wire format version carried by every frame.
+const Version = 1
+
+// Limits enforced during decode, before any allocation is sized by peer
+// input. MaxFrame bounds the whole frame body; the others bound counts
+// inside it.
+const (
+	MaxFrame      = 1 << 20 // bytes in one frame body
+	MaxProcs      = 1 << 12 // processes in a table
+	MaxStatsPairs = 1 << 12 // counters in a stats reply
+	MaxName       = 1 << 8  // bytes in a counter name
+)
+
+// Errors reported by the codec.
+var (
+	ErrBadFrame = errors.New("wire: malformed frame")
+	ErrTooLarge = errors.New("wire: frame exceeds limit")
+	ErrVersion  = errors.New("wire: unsupported version")
+)
+
+// MsgType enumerates the frame types.
+type MsgType uint8
+
+// Frame types. Proto carries one mpnet payload between two consensus
+// processes; Ack acknowledges a sequenced peer frame at the transport level;
+// the rest are the control vocabulary.
+const (
+	TypeHello MsgType = iota + 1
+	TypeStart
+	TypeStartAck
+	TypeProto
+	TypeAck
+	TypeDecide
+	TypePullTable
+	TypeTable
+	TypePullStats
+	TypeStats
+)
+
+// String names the type for logs and errors.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeStart:
+		return "instance-start"
+	case TypeStartAck:
+		return "start-ack"
+	case TypeProto:
+		return "proto"
+	case TypeAck:
+		return "ack"
+	case TypeDecide:
+		return "decide"
+	case TypePullTable:
+		return "pull-table"
+	case TypeTable:
+		return "table"
+	case TypePullStats:
+		return "pull-stats"
+	case TypeStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Role distinguishes the two kinds of connections a node accepts.
+type Role uint8
+
+// Connection roles announced in Hello.
+const (
+	RolePeer Role = iota + 1 // another cluster node
+	RoleCtl                  // a controller (ksetctl or a test driver)
+)
+
+// Msg is one decoded frame. The concrete types below enumerate the
+// vocabulary.
+type Msg interface {
+	// Type returns the frame type tag.
+	Type() MsgType
+}
+
+// Hello opens every connection: it authenticates the sender's identity for
+// the rest of the stream (the cluster transport stamps From fields against
+// it, mirroring mpnet's authentic sender ids).
+type Hello struct {
+	// From is the sender's process id; -1 for controllers.
+	From types.ProcessID
+	// Role says whether the connection carries peer traffic or control
+	// requests.
+	Role Role
+	// N is the sender's view of the cluster size, checked against the
+	// receiver's.
+	N int
+	// Session identifies one process incarnation of the sender. Link
+	// sequence numbers are scoped to it: a receiver that sees a new session
+	// from a peer resets its duplicate-suppression state, because the
+	// restarted peer's sequence space restarts too (and its old process can
+	// no longer emit duplicates).
+	Session uint64
+}
+
+// Start asks a node to start one consensus instance with the given local
+// input. Every node of the cluster receives its own Start with its own
+// input; the instance id ties them together.
+type Start struct {
+	// Instance identifies the consensus instance across the cluster.
+	Instance uint64
+	// K and T are the agreement and fault bounds for this instance.
+	K, T int
+	// Proto and Ell name the witness protocol (theory.ProtocolID; Ell is
+	// the echo parameter when Proto is Protocol C). Proto 0 selects the
+	// node's configured default.
+	Proto uint8
+	Ell   int
+	// Input is this node's input value.
+	Input types.Value
+}
+
+// StartAck confirms a Start was accepted and the instance is running.
+type StartAck struct {
+	Instance uint64
+	From     types.ProcessID
+}
+
+// Proto carries one mpnet payload from one consensus process to another.
+// Seq sequences the frame on its link for the retransmit/ack reliability
+// layer; it is unique per (sender node, receiver node) link, not globally.
+type Proto struct {
+	Seq      uint64
+	Instance uint64
+	From     types.ProcessID
+	Payload  types.Payload
+}
+
+// Ack acknowledges receipt of the sequenced peer frame Seq on this link.
+type Ack struct {
+	Seq uint64
+}
+
+// Decide announces that Node decided Value in Instance. Nodes broadcast it
+// to every peer so that each node assembles the full decision table that
+// internal/checker validates.
+type Decide struct {
+	Seq      uint64
+	Instance uint64
+	Node     types.ProcessID
+	Value    types.Value
+}
+
+// PullTable asks a node for its current decision table for an instance.
+type PullTable struct {
+	Instance uint64
+}
+
+// TableRow is one node's slot in a decision table.
+type TableRow struct {
+	Decided bool
+	Value   types.Value
+}
+
+// Table is a node's current view of one instance: who has decided what, as
+// heard through Decide frames (its own decision included).
+type Table struct {
+	Instance uint64
+	K, T     int
+	Rows     []TableRow
+}
+
+// PullStats asks a node for its counters.
+type PullStats struct{}
+
+// StatPair is one named counter value.
+type StatPair struct {
+	Name  string
+	Value int64
+}
+
+// Stats is the expvar-style counter dump of a node: transport and instance
+// counters in a fixed, deterministic order.
+type Stats struct {
+	Pairs []StatPair
+}
+
+// Type implementations.
+func (Hello) Type() MsgType     { return TypeHello }
+func (Start) Type() MsgType     { return TypeStart }
+func (StartAck) Type() MsgType  { return TypeStartAck }
+func (Proto) Type() MsgType     { return TypeProto }
+func (Ack) Type() MsgType       { return TypeAck }
+func (Decide) Type() MsgType    { return TypeDecide }
+func (PullTable) Type() MsgType { return TypePullTable }
+func (Table) Type() MsgType     { return TypeTable }
+func (PullStats) Type() MsgType { return TypePullStats }
+func (Stats) Type() MsgType     { return TypeStats }

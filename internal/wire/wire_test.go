@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"kset/internal/types"
+)
+
+// sampleMsgs covers every frame type with representative field values.
+func sampleMsgs() []Msg {
+	return []Msg{
+		Hello{From: -1, Role: RoleCtl, N: 5},
+		Hello{From: 3, Role: RolePeer, N: 5, Session: 0xfeedface},
+		Start{Instance: 42, K: 2, T: 1, Proto: 1, Ell: 0, Input: -7},
+		Start{Instance: 1<<63 + 9, K: 3, T: 2, Proto: 4, Ell: 2, Input: types.DefaultValue},
+		StartAck{Instance: 42, From: 0},
+		Proto{Seq: 17, Instance: 42, From: 1,
+			Payload: types.Payload{Kind: types.KindEcho, Value: 9, Origin: 2}},
+		Ack{Seq: 17},
+		Decide{Seq: 18, Instance: 42, Node: 4, Value: 3},
+		PullTable{Instance: 42},
+		Table{Instance: 42, K: 2, T: 1, Rows: []TableRow{
+			{Decided: true, Value: 3}, {Decided: false}, {Decided: true, Value: -1},
+		}},
+		PullStats{},
+		Stats{Pairs: []StatPair{
+			{Name: "node.frames_sent", Value: 128},
+			{Name: "inst.42.latency_us", Value: 913},
+		}},
+	}
+}
+
+func TestRoundTripEveryType(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		body, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", m, err)
+		}
+		got, err := Decode(body)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%#v)): %v", m, err)
+		}
+		if !reflect.DeepEqual(normalize(m), normalize(got)) {
+			t.Errorf("round trip changed message:\n%#v\nvs\n%#v", m, got)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a comparable form: the codec cannot
+// distinguish them, and does not need to.
+func normalize(m Msg) Msg {
+	switch v := m.(type) {
+	case Table:
+		if len(v.Rows) == 0 {
+			v.Rows = nil
+		}
+		return v
+	case Stats:
+		if len(v.Pairs) == 0 {
+			v.Pairs = nil
+		}
+		return v
+	}
+	return m
+}
+
+func TestStreamFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatalf("WriteMsg(%#v): %v", m, err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("ReadMsg #%d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(want), normalize(got)) {
+			t.Errorf("frame %d: got %#v want %#v", i, got, want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d bytes left over after reading all frames", buf.Len())
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	valid, err := Encode(Ack{Seq: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"version only", []byte{Version}},
+		{"bad version", append([]byte{9}, valid[1:]...)},
+		{"unknown type", []byte{Version, 0xEE}},
+		{"truncated ack", valid[:len(valid)-1]},
+		{"trailing bytes", append(append([]byte{}, valid...), 0)},
+		{"hello bad role", mustEncodePatch(t, Hello{From: 0, Role: RolePeer, N: 3}, 6, 7)},
+		{"bool not 0/1", mustEncodePatch(t,
+			Table{Instance: 1, K: 1, T: 0, Rows: []TableRow{{Decided: false, Value: 0}}},
+			22, 2)},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.body); err == nil {
+			t.Errorf("%s: Decode accepted %x", tc.name, tc.body)
+		}
+	}
+}
+
+// mustEncodePatch encodes m and overwrites one byte, for malformed-input
+// cases that cannot be produced by Encode.
+func mustEncodePatch(t *testing.T, m Msg, off int, b byte) []byte {
+	t.Helper()
+	body, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= len(body) {
+		t.Fatalf("patch offset %d beyond body of %d bytes", off, len(body))
+	}
+	body[off] = b
+	return body
+}
+
+func TestEncodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Msg
+	}{
+		{"hello role", Hello{From: 0, Role: 9, N: 3}},
+		{"hello n negative", Hello{From: 0, Role: RolePeer, N: -1}},
+		{"hello n huge", Hello{From: 0, Role: RolePeer, N: MaxProcs + 1}},
+		{"pid negative", Proto{From: -2}},
+		{"pid huge", Decide{Node: MaxProcs}},
+		{"start k negative", Start{K: -1}},
+		{"table too wide", Table{Rows: make([]TableRow, MaxProcs+1)}},
+		{"stats name too long", Stats{Pairs: []StatPair{{Name: string(make([]byte, MaxName+1))}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Encode(tc.m); err == nil {
+			t.Errorf("%s: Encode accepted %#v", tc.name, tc.m)
+		}
+	}
+}
+
+func TestReadMsgLimits(t *testing.T) {
+	// A length prefix above MaxFrame must be rejected before allocation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMsg(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized prefix: got %v, want ErrTooLarge", err)
+	}
+	// Encoding an in-limit table and truncating the stream must error, not
+	// hang or panic.
+	buf.Reset()
+	if err := WriteMsg(&buf, PullTable{Instance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-2])
+	if _, err := ReadMsg(trunc); err == nil {
+		t.Error("truncated stream: ReadMsg returned nil error")
+	}
+}
