@@ -32,10 +32,10 @@ race:
 	$(GO) test -race ./...
 
 # Un-shortened race run over the live (genuinely concurrent) runtimes, the
-# sweep engine (the worker pool behind -workers), and the TCP cluster
-# runtime (including the fault-injected soak test).
+# sweep engine (the worker pool behind -workers), the TCP cluster runtime
+# (including the fault-injected soak test), and the metrics registry.
 race-live:
-	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/ ./internal/sweep/ ./internal/cluster/
+	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/ ./internal/sweep/ ./internal/cluster/ ./internal/obs/
 
 short:
 	$(GO) test -short ./...
@@ -79,8 +79,17 @@ fuzz-smoke:
 # Loopback 5-node TCP cluster under -race: concurrent FloodMin and
 # Protocol A instances over an adversarial transport, one crashed node, one
 # flapping link, every surviving node's decisions verified by the checker.
+# Then a live single-node daemon: its /healthz and /metrics HTTP endpoints
+# must answer (Prometheus exposition with the kset_ series present).
 cluster-smoke:
 	$(GO) test -race -count=1 -run TestClusterSoak -v ./internal/cluster/
+	$(GO) build -o ksetd-smoke ./cmd/ksetd
+	./ksetd-smoke -id 0 -peers 127.0.0.1:19707 -listen 127.0.0.1:19707 \
+		-metrics 127.0.0.1:19708 -n 1 -k 1 -t 0 -quiet & pid=$$!; \
+	sleep 1; status=0; \
+	curl -fsS http://127.0.0.1:19708/healthz || status=1; \
+	curl -fsS http://127.0.0.1:19708/metrics | grep -q kset_frames_sent_total || status=1; \
+	kill $$pid; rm -f ksetd-smoke; exit $$status
 
 # Regenerate the paper's figures at n=64 into docs/figures/.
 figures:

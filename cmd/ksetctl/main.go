@@ -177,16 +177,41 @@ func runInstances(args []string, out io.Writer) error {
 	}
 	elapsed := time.Since(started)
 
-	// Report per-instance decision latency from node 0's counters, plus the
+	// Report per-instance decision latency aggregated across every node (the
+	// old report quoted node 0 alone, hiding stragglers), plus the
 	// controller's wall-clock throughput.
-	pairs, err := clients[0].Stats()
-	if err != nil {
-		return err
+	perNode := make([]map[string]int64, 0, len(clients))
+	for i, c := range clients {
+		pairs, err := c.Stats()
+		if err != nil {
+			return fmt.Errorf("stats from node %d: %w", i, err)
+		}
+		perNode = append(perNode, statMap(pairs))
 	}
-	stats := statMap(pairs)
-	fmt.Fprintf(out, "\nper-instance decision latency (node 0):\n")
+	fmt.Fprintf(out, "\nper-instance decision latency across %d nodes:\n", len(perNode))
 	for id := *first; id <= last; id++ {
-		fmt.Fprintf(out, "  inst.%d.latency_us %d\n", id, stats[fmt.Sprintf("inst.%d.latency_us", id)])
+		key := fmt.Sprintf("inst.%d.latency_us", id)
+		lmin, lmax, lsum, seen := int64(0), int64(0), int64(0), 0
+		for _, stats := range perNode {
+			us, ok := stats[key]
+			if !ok || us <= 0 {
+				continue
+			}
+			if seen == 0 || us < lmin {
+				lmin = us
+			}
+			if us > lmax {
+				lmax = us
+			}
+			lsum += us
+			seen++
+		}
+		if seen == 0 {
+			fmt.Fprintf(out, "  %s (no samples)\n", key)
+			continue
+		}
+		fmt.Fprintf(out, "  %s min %d mean %d max %d (%d nodes)\n",
+			key, lmin, lsum/int64(seen), lmax, seen)
 	}
 	fmt.Fprintf(out, "throughput: %d instance(s) in %v (%.1f/s)\n",
 		*instances, elapsed.Round(time.Millisecond),
@@ -252,22 +277,60 @@ func runStats(args []string, out io.Writer) error {
 		return fmt.Errorf("-peers is required")
 	}
 	addrs := splitAddrs(*peers)
-	clients, err := dialAll(addrs, 10*time.Second)
-	if err != nil {
-		return err
-	}
-	defer closeAll(clients)
-	for i, c := range clients {
+
+	// Dial each node independently: stats must degrade gracefully when part
+	// of the cluster is unreachable instead of failing the whole report.
+	var hists []wire.Hist
+	reachable := 0
+	for i, addr := range addrs {
+		c, err := cluster.DialNode(addr, 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(out, "node %d (%s): unreachable: %v\n", i, addr, err)
+			continue
+		}
 		pairs, err := c.Stats()
 		if err != nil {
+			c.Close()
 			return fmt.Errorf("stats from node %d: %w", i, err)
 		}
+		m, err := c.Metrics()
+		c.Close()
+		if err != nil {
+			return fmt.Errorf("metrics from node %d: %w", i, err)
+		}
+		reachable++
 		fmt.Fprintf(out, "node %d (%s):\n", i, addrs[i])
 		for _, p := range pairs {
 			fmt.Fprintf(out, "  %-24s %d\n", p.Name, p.Value)
 		}
+		for _, h := range m.Hists {
+			if h.Name == "kset_decide_latency_seconds" {
+				hists = append(hists, h)
+			}
+		}
 	}
+	if reachable == 0 {
+		return fmt.Errorf("no node reachable")
+	}
+
+	// Cluster-wide decision latency: every node's histogram merged into one.
+	merged := wire.MergeHists(hists)
+	fmt.Fprintf(out, "\ncluster-wide decision latency (%d/%d nodes, %d decisions):\n",
+		reachable, len(addrs), merged.Count)
+	if merged.Count == 0 {
+		fmt.Fprintf(out, "  no decisions observed\n")
+		return nil
+	}
+	fmt.Fprintf(out, "  min %s  mean %s  p95 %s  max %s\n",
+		usDuration(float64(merged.MinMicros)), usDuration(merged.Mean()),
+		usDuration(merged.Quantile(0.95)), usDuration(float64(merged.MaxMicros)))
 	return nil
+}
+
+// usDuration renders a microsecond quantity as a duration rounded to whole
+// microseconds.
+func usDuration(us float64) time.Duration {
+	return time.Duration(us * float64(time.Microsecond)).Round(time.Microsecond)
 }
 
 func statMap(pairs []wire.StatPair) map[string]int64 {

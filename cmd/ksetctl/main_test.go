@@ -65,6 +65,8 @@ func TestRunConcurrentInstances(t *testing.T) {
 		"started 4 instance(s) on 3 nodes",
 		"inst.1.latency_us",
 		"inst.4.latency_us",
+		"latency across 3 nodes",
+		"(3 nodes)", // every instance aggregated over all nodes, not node 0 alone
 		"throughput: 4 instance(s)",
 	} {
 		if !strings.Contains(got, want) {
@@ -89,7 +91,40 @@ func TestStats(t *testing.T) {
 		t.Fatalf("stats: %v", err)
 	}
 	got := out.String()
-	for _, want := range []string{"node 0", "node 2", "node.frames_sent", "inst.1.decided"} {
+	for _, want := range []string{
+		"node 0", "node 2", "node.frames_sent", "inst.1.decided",
+		"cluster-wide decision latency (3/3 nodes, 3 decisions):",
+		"min ", "mean ", "p95 ", "max ",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestStatsToleratesUnreachableNode points one peer entry at a dead address:
+// the report must still aggregate the live nodes instead of failing.
+func TestStatsToleratesUnreachableNode(t *testing.T) {
+	lb := startCluster(t, 14)
+	var out strings.Builder
+	err := run([]string{
+		"run",
+		"-peers", strings.Join(lb.Addrs, ","),
+		"-instances", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	out.Reset()
+	peers := strings.Join(append(append([]string{}, lb.Addrs...), "127.0.0.1:1"), ",")
+	if err := run([]string{"stats", "-peers", peers}, &out); err != nil {
+		t.Fatalf("stats with dead node: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"node 3 (127.0.0.1:1): unreachable",
+		"cluster-wide decision latency (3/4 nodes, 3 decisions):",
+	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("stats output missing %q:\n%s", want, got)
 		}

@@ -9,10 +9,15 @@
 //	ksetd -id 0 -peers host0:7000,host1:7000,host2:7000 -n 3 -k 2 -t 1
 //	ksetd -id 1 -peers ... -listen :7000 -protocol floodmin -seed 7 \
 //	      -drop 0.1 -delay 0.2 -max-delay 5ms
+//	ksetd -id 0 -peers ... -metrics :9100 -log-level debug
 //
 // The -peers list must name every node in id order; entry -id is this
 // node's advertised address. Instances are started by ksetctl (or any
 // controller speaking the wire protocol).
+//
+// With -metrics ADDR the node also serves HTTP: GET /metrics returns the
+// node's counters and latency histograms in the Prometheus text exposition
+// format, and GET /healthz returns 200 "ok" while the node is up.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"kset/internal/cluster"
+	"kset/internal/obs"
 	"kset/internal/theory"
 	"kset/internal/types"
 )
@@ -45,10 +53,18 @@ func main() {
 	}
 }
 
+// readyAddrs reports the daemon's bound addresses to a test harness: the
+// node's listen address, and the metrics endpoint's (empty when -metrics is
+// not given).
+type readyAddrs struct {
+	Node    string
+	Metrics string
+}
+
 // run starts the node and serves until stop closes. If ready is non-nil it
-// receives the bound listen address once the node is up (tests use it to
-// learn :0 port assignments).
-func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- string) error {
+// receives the bound addresses once the node is up (tests use it to learn :0
+// port assignments).
+func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- readyAddrs) error {
 	fs := flag.NewFlagSet("ksetd", flag.ContinueOnError)
 	fs.SetOutput(logw)
 	var (
@@ -66,6 +82,8 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- strin
 		delay    = fs.Float64("delay", 0, "probability a transmission attempt is delayed")
 		maxDelay = fs.Duration("max-delay", 20*time.Millisecond, "upper bound on injected delays")
 		quiet    = fs.Bool("quiet", false, "suppress diagnostics")
+		metrics  = fs.String("metrics", "", "HTTP address serving /metrics and /healthz (empty: disabled)")
+		logLevel = fs.String("log-level", "info", "structured event log threshold: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +109,14 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- strin
 	if *quiet {
 		logf = nil
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	var events *obs.Logger
+	if !*quiet {
+		events = obs.NewLogger(logw, level)
+	}
 	node, err := cluster.NewNode(cluster.Config{
 		ID:           types.ProcessID(*id),
 		N:            *n,
@@ -108,6 +134,7 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- strin
 			MaxDelay: *maxDelay,
 		},
 		Logf: logf,
+		Log:  events,
 	})
 	if err != nil {
 		return err
@@ -116,13 +143,52 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- strin
 		return err
 	}
 	logger.Printf("listening on %s as node %d of %d", node.Addr(), *id, *n)
+
+	metricsAddr := ""
+	var msrv *http.Server
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			node.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		metricsAddr = mln.Addr().String()
+		msrv = &http.Server{Handler: metricsMux(node)}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		logger.Printf("metrics on http://%s/metrics", metricsAddr)
+	}
+
 	if ready != nil {
-		ready <- node.Addr()
+		ready <- readyAddrs{Node: node.Addr(), Metrics: metricsAddr}
 	}
 	<-stop
 	logger.Printf("shutting down")
+	if msrv != nil {
+		msrv.Close()
+	}
 	node.Close()
 	return nil
+}
+
+// metricsMux serves the node's observability endpoints: the Prometheus text
+// exposition at /metrics and a liveness probe at /healthz.
+func metricsMux(node *cluster.Node) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := node.Metrics().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }
 
 func splitAddrs(s string) []string {

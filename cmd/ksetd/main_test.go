@@ -1,7 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"io"
+	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -17,7 +20,7 @@ import (
 // it exercises the whole daemon path: flags, listener, control protocol.)
 func TestDaemonServesControl(t *testing.T) {
 	stop := make(chan struct{})
-	ready := make(chan string, 1)
+	ready := make(chan readyAddrs, 1)
 	errc := make(chan error, 1)
 	go func() {
 		errc <- run([]string{
@@ -31,7 +34,11 @@ func TestDaemonServesControl(t *testing.T) {
 	}()
 	var addr string
 	select {
-	case addr = <-ready:
+	case got := <-ready:
+		addr = got.Node
+		if got.Metrics != "" {
+			t.Errorf("metrics endpoint bound without -metrics: %q", got.Metrics)
+		}
 	case err := <-errc:
 		t.Fatalf("daemon exited early: %v", err)
 	case <-time.After(5 * time.Second):
@@ -78,12 +85,136 @@ func TestDaemonServesControl(t *testing.T) {
 	}
 }
 
+// TestMetricsEndpoint boots a daemon with -metrics, runs one instance, and
+// checks the HTTP observability surface: /healthz answers ok, /metrics is
+// parseable Prometheus text exposition and contains the decide-latency
+// histogram with at least one observation.
+func TestMetricsEndpoint(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan readyAddrs, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-id", "0",
+			"-peers", "127.0.0.1:1",
+			"-listen", "127.0.0.1:0",
+			"-metrics", "127.0.0.1:0",
+			"-n", "1", "-k", "1", "-t", "0",
+			"-quiet",
+		}, io.Discard, stop, ready)
+	}()
+	var addrs readyAddrs
+	select {
+	case addrs = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	if addrs.Metrics == "" {
+		t.Fatal("no metrics address reported")
+	}
+	defer func() {
+		close(stop)
+		select {
+		case <-errc:
+		case <-time.After(5 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	}()
+
+	// Decide one instance so the latency histogram has an observation.
+	c, err := cluster.DialNode(addrs.Node, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(wire.Start{Instance: 1, K: 1, T: 0, Input: 5}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tbl, err := c.Table(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tbl.Rows) == 1 && tbl.Rows[0].Decided {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("instance undecided")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if got := httpGet(t, "http://"+addrs.Metrics+"/healthz"); strings.TrimSpace(got) != "ok" {
+		t.Errorf("/healthz = %q, want ok", got)
+	}
+	body := httpGet(t, "http://"+addrs.Metrics+"/metrics")
+	if err := parseExposition(body); err != nil {
+		t.Errorf("/metrics not parseable: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"# TYPE kset_decide_latency_seconds histogram",
+		`kset_decide_latency_seconds_bucket{le="+Inf"} 1`,
+		"kset_decide_latency_seconds_count 1",
+		"kset_frames_sent_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// parseExposition is a minimal validator for the Prometheus text format: every
+// line is a comment or `series value`, with numeric values.
+func parseExposition(body string) error {
+	for i, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if line == "" {
+			return fmt.Errorf("line %d: empty", i+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "TYPE" {
+				return fmt.Errorf("line %d: malformed comment %q", i+1, line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no value separator in %q", i+1, line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			return fmt.Errorf("line %d: bad value in %q: %v", i+1, line, err)
+		}
+	}
+	return nil
+}
+
 func TestBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-peers", ""},                           // missing peers
 		{"-peers", "a,b", "-protocol", "nope"},   // unknown protocol
 		{"-peers", "a,b", "-id", "7", "-n", "2"}, // id out of range
 		{"-peers", "a,b", "-k", "0"},             // invalid k
+		{"-peers", "a,b", "-log-level", "loud"},  // unknown log level
 	}
 	for _, args := range cases {
 		stop := make(chan struct{})

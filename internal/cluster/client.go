@@ -33,7 +33,10 @@ func DialNode(addr string, timeout time.Duration) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{conn: conn, timeout: timeout}
-	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	if err := wire.WriteMsg(conn, wire.Hello{From: -1, Role: wire.RoleCtl}); err != nil {
 		conn.Close()
 		return nil, err
@@ -47,11 +50,15 @@ func (c *Client) Close() error { return c.conn.Close() }
 // roundTrip sends one request and reads one reply under the deadline.
 func (c *Client) roundTrip(req wire.Msg) (wire.Msg, error) {
 	deadline := time.Now().Add(c.timeout)
-	c.conn.SetWriteDeadline(deadline)
+	if err := c.conn.SetWriteDeadline(deadline); err != nil {
+		return nil, err
+	}
 	if err := wire.WriteMsg(c.conn, req); err != nil {
 		return nil, err
 	}
-	c.conn.SetReadDeadline(deadline)
+	if err := c.conn.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
 	return wire.ReadMsg(c.conn)
 }
 
@@ -93,6 +100,20 @@ func (c *Client) Stats() ([]wire.StatPair, error) {
 		return nil, fmt.Errorf("%w: stats reply %#v", ErrProtocol, reply)
 	}
 	return st.Pairs, nil
+}
+
+// Metrics pulls the node's histogram snapshots (latency metrics), sorted by
+// name.
+func (c *Client) Metrics() (wire.Metrics, error) {
+	reply, err := c.roundTrip(wire.PullMetrics{})
+	if err != nil {
+		return wire.Metrics{}, err
+	}
+	m, ok := reply.(wire.Metrics)
+	if !ok {
+		return wire.Metrics{}, fmt.Errorf("%w: metrics reply %#v", ErrProtocol, reply)
+	}
+	return m, nil
 }
 
 // BuildRecord converts one node's decision table into the RunRecord shape

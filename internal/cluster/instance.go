@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kset/internal/mpnet"
+	"kset/internal/obs"
 	"kset/internal/prng"
 	"kset/internal/theory"
 	"kset/internal/trace"
@@ -33,11 +34,15 @@ type instance struct {
 
 	inbox chan delivery
 
-	mu      sync.Mutex
-	rows    []wire.TableRow // decision table, indexed by node id
-	decided bool            // local process decided
-	self    []types.Payload // pending self-deliveries (drained between events)
+	mu        sync.Mutex
+	rows      []wire.TableRow // decision table, indexed by node id
+	decided   bool            // local process decided
+	tableDone bool            // full table observed (latency recorded once)
+	self      []types.Payload // pending self-deliveries (drained between events)
 
+	// startedAt is stamped at construction, before any frame can be
+	// delivered, and read from both the instance goroutine (Decide) and the
+	// connection readers (recordDecision); it is immutable thereafter.
 	startedAt time.Time
 	sent      atomic.Int64
 	recv      atomic.Int64
@@ -56,15 +61,16 @@ func newInstance(n *Node, id uint64, k, t int, proto theory.ProtocolID, ell int,
 		return nil, fmt.Errorf("cluster: instance %d: %w", id, err)
 	}
 	return &instance{
-		node:  n,
-		id:    id,
-		k:     k,
-		t:     t,
-		input: input,
-		proto: factory(n.cfg.ID),
-		rng:   prng.New(n.cfg.Seed ^ id ^ 0xabcd*uint64(n.cfg.ID)),
-		inbox: make(chan delivery, inboxDepth),
-		rows:  make([]wire.TableRow, n.cfg.N),
+		node:      n,
+		id:        id,
+		k:         k,
+		t:         t,
+		input:     input,
+		proto:     factory(n.cfg.ID),
+		rng:       prng.New(n.cfg.Seed ^ id ^ 0xabcd*uint64(n.cfg.ID)),
+		inbox:     make(chan delivery, inboxDepth),
+		rows:      make([]wire.TableRow, n.cfg.N),
+		startedAt: time.Now(),
 	}, nil
 }
 
@@ -94,7 +100,24 @@ func (in *instance) recordDecision(node types.ProcessID, val types.Value) {
 	defer in.mu.Unlock()
 	if !in.rows[node].Decided {
 		in.rows[node] = wire.TableRow{Decided: true, Value: val}
+		in.observeTableLocked()
 	}
+}
+
+// observeTableLocked records the start-to-complete-table latency the first
+// time every row is filled — the moment the checker could certify this
+// instance from the local view. Called with in.mu held.
+func (in *instance) observeTableLocked() {
+	if in.tableDone {
+		return
+	}
+	for i := range in.rows {
+		if !in.rows[i].Decided {
+			return
+		}
+	}
+	in.tableDone = true
+	in.node.stats.tableLatency.Observe(time.Since(in.startedAt).Seconds())
 }
 
 // run is the instance goroutine: start the protocol, then deliver inbox
@@ -102,7 +125,6 @@ func (in *instance) recordDecision(node types.ProcessID, val types.Value) {
 // drained before the next network delivery, mirroring mpnet's runtime.
 func (in *instance) run(backlog []wire.Msg) {
 	defer in.node.wg.Done()
-	in.startedAt = time.Now()
 	api := &instanceAPI{in: in}
 	in.proto.Start(api)
 	in.drainSelf(api)
@@ -230,13 +252,19 @@ func (a *instanceAPI) Decide(v types.Value) {
 	if !already {
 		in.decided = true
 		in.rows[in.node.cfg.ID] = wire.TableRow{Decided: true, Value: v}
+		in.observeTableLocked()
 	}
 	in.mu.Unlock()
 	if already {
 		in.node.logf("cluster: instance %d decided twice", in.id)
 		return
 	}
-	in.latencyUS.Store(time.Since(in.startedAt).Microseconds())
+	elapsed := time.Since(in.startedAt)
+	in.latencyUS.Store(elapsed.Microseconds())
+	in.node.stats.decideLatency.Observe(elapsed.Seconds())
+	in.node.log.Info("decided",
+		obs.F("instance", in.id), obs.F("value", int64(v)),
+		obs.F("latency_us", elapsed.Microseconds()))
 	in.node.broadcastPeers(wire.Decide{Instance: in.id, Node: in.node.cfg.ID, Value: v})
 }
 

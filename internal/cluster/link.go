@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"kset/internal/obs"
 	"kset/internal/prng"
 	"kset/internal/types"
 	"kset/internal/wire"
@@ -42,6 +44,12 @@ type link struct {
 	rng        *prng.Source
 	backoff    time.Duration
 	nextDialAt time.Time
+
+	// Per-peer metrics, registered in the node's registry at link creation.
+	mDials        *obs.Counter
+	mDialFailures *obs.Counter
+	mRetransmits  *obs.Counter
+	mBackoff      *obs.Histogram
 }
 
 // pendingFrame is one sequenced frame awaiting acknowledgment.
@@ -55,14 +63,23 @@ type pendingFrame struct {
 	// notBefore holds the frame back until the given time (injected
 	// delay).
 	notBefore time.Time
+	// firstSent is the first time the frame was actually handed to the
+	// connection (zero: never transmitted); the transport ack round trip
+	// is measured from it.
+	firstSent time.Time
 }
 
 func newLink(n *Node, peer types.ProcessID, addr string) *link {
+	label := fmt.Sprintf(`{peer="%d"}`, peer)
 	return &link{
-		node: n,
-		peer: peer,
-		addr: addr,
-		wake: make(chan struct{}, 1),
+		node:          n,
+		peer:          peer,
+		addr:          addr,
+		wake:          make(chan struct{}, 1),
+		mDials:        n.reg.Counter("kset_link_dials_total" + label),
+		mDialFailures: n.reg.Counter("kset_link_dial_failures_total" + label),
+		mRetransmits:  n.reg.Counter("kset_link_retransmits_total" + label),
+		mBackoff:      n.reg.Histogram("kset_link_backoff_seconds"+label, obs.DefaultLatencyBounds()),
 	}
 }
 
@@ -103,12 +120,16 @@ func (l *link) enqueueAck(seq uint64) {
 	l.signal()
 }
 
-// ack removes a frame the peer confirmed.
+// ack removes a frame the peer confirmed, observing the round trip from its
+// first transmission.
 func (l *link) ack(seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for i := range l.queue {
 		if l.queue[i].seq == seq {
+			if first := l.queue[i].firstSent; !first.IsZero() {
+				l.node.stats.ackRTT.Observe(time.Since(first).Seconds())
+			}
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
 			break
 		}
@@ -196,6 +217,7 @@ func (l *link) flush() {
 		}
 		if !isNew {
 			l.node.stats.retransmits.Add(1)
+			l.mRetransmits.Add(1)
 		}
 		switch l.node.cfg.Faults.roll(l.rng) {
 		case actDrop:
@@ -210,13 +232,16 @@ func (l *link) flush() {
 				continue
 			}
 			p.lastAttempt = now
+			l.markSent(p, now)
 			sends = append(sends, p.msg)
 		case actDup:
 			l.node.stats.dupsInjected.Add(1)
 			p.lastAttempt = now
+			l.markSent(p, now)
 			sends = append(sends, p.msg, p.msg)
 		default:
 			p.lastAttempt = now
+			l.markSent(p, now)
 			sends = append(sends, p.msg)
 		}
 	}
@@ -225,11 +250,20 @@ func (l *link) flush() {
 	if len(acks) == 0 && len(sends) == 0 {
 		return
 	}
+	// The acks were popped from the queue above; if the connection cannot be
+	// established (dial failure, backoff window) they must go back, or they
+	// are silently lost and the peer retransmits until the next inbound frame
+	// happens to trigger a re-ack. Sequenced frames survive in l.queue either
+	// way — acks are the only fire-and-forget payload here.
 	if !l.ensureConn() {
+		l.requeueAcks(acks)
 		return
 	}
-	for _, seq := range acks {
-		l.write(wire.Ack{Seq: seq})
+	for i, seq := range acks {
+		if !l.write(wire.Ack{Seq: seq}) {
+			l.requeueAcks(acks[i:])
+			return
+		}
 	}
 	for _, m := range sends {
 		if l.write(m) {
@@ -238,12 +272,36 @@ func (l *link) flush() {
 	}
 	if l.bw != nil {
 		if l.conn != nil {
-			l.conn.SetWriteDeadline(time.Now().Add(l.node.cfg.WriteTimeout))
+			if err := l.conn.SetWriteDeadline(time.Now().Add(l.node.cfg.WriteTimeout)); err != nil {
+				l.connFailed()
+				return
+			}
 		}
 		if err := l.bw.Flush(); err != nil {
 			l.connFailed()
 		}
 	}
+}
+
+// markSent stamps the first real transmission time (for the ack round-trip
+// histogram). Called under l.mu.
+func (l *link) markSent(p *pendingFrame, now time.Time) {
+	if p.firstSent.IsZero() {
+		p.firstSent = now
+	}
+}
+
+// requeueAcks prepends acks that could not be sent back onto the outgoing
+// list, preserving their order ahead of any acks enqueued meanwhile.
+func (l *link) requeueAcks(acks []uint64) {
+	if len(acks) == 0 {
+		return
+	}
+	l.mu.Lock()
+	if !l.closed {
+		l.acks = append(append([]uint64(nil), acks...), l.acks...)
+	}
+	l.mu.Unlock()
 }
 
 // ensureConn dials the peer if no connection is up, honoring the backoff
@@ -256,8 +314,10 @@ func (l *link) ensureConn() bool {
 	if now.Before(l.nextDialAt) {
 		return false
 	}
+	l.mDials.Add(1)
 	conn, err := net.DialTimeout("tcp", l.addr, l.node.cfg.DialTimeout)
 	if err != nil {
+		l.mDialFailures.Add(1)
 		if l.backoff == 0 {
 			l.backoff = 25 * time.Millisecond
 		} else {
@@ -266,7 +326,11 @@ func (l *link) ensureConn() bool {
 				l.backoff = time.Second
 			}
 		}
+		l.mBackoff.Observe(l.backoff.Seconds())
 		l.nextDialAt = now.Add(l.backoff)
+		l.node.log.Debug("dial failed",
+			obs.F("peer", int(l.peer)), obs.F("addr", l.addr),
+			obs.F("backoff", l.backoff.String()), obs.F("err", err.Error()))
 		return false
 	}
 	l.backoff = 0
@@ -274,6 +338,7 @@ func (l *link) ensureConn() bool {
 	l.conn = conn
 	l.bw = bufio.NewWriter(conn)
 	l.node.stats.connects.Add(1)
+	l.node.log.Debug("dialed peer", obs.F("peer", int(l.peer)), obs.F("addr", l.addr))
 	hello := wire.Hello{
 		From:    l.node.cfg.ID,
 		Role:    wire.RolePeer,
@@ -293,7 +358,10 @@ func (l *link) write(m wire.Msg) bool {
 	if l.conn == nil {
 		return false
 	}
-	l.conn.SetWriteDeadline(time.Now().Add(l.node.cfg.WriteTimeout))
+	if err := l.conn.SetWriteDeadline(time.Now().Add(l.node.cfg.WriteTimeout)); err != nil {
+		l.connFailed()
+		return false
+	}
 	if err := wire.WriteMsg(l.bw, m); err != nil {
 		l.connFailed()
 		return false

@@ -21,12 +21,13 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"kset/internal/obs"
 	"kset/internal/theory"
 	"kset/internal/types"
 	"kset/internal/wire"
@@ -60,12 +61,16 @@ type Config struct {
 	// Faults configures the transport fault injector.
 	Faults Faults
 	// DialTimeout, WriteTimeout and Retransmit tune the transport; zero
-	// selects the defaults (1s, 2s, 50ms).
+	// selects the defaults (1s, 2s, 50ms). Negative values are rejected by
+	// NewNode.
 	DialTimeout  time.Duration
 	WriteTimeout time.Duration
 	Retransmit   time.Duration
 	// Logf, if non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// Log, if non-nil, receives structured transport events (dials,
+	// connection failures, instance lifecycle) at their natural levels.
+	Log *obs.Logger
 }
 
 // maxPendingFrames bounds the frames buffered for an instance that has not
@@ -90,6 +95,8 @@ type Node struct {
 	conns     []net.Conn // accepted connections, for shutdown
 	closed    bool
 
+	reg   *obs.Registry
+	log   *obs.Logger
 	stats nodeStats
 	done  chan struct{}
 	wg    sync.WaitGroup
@@ -104,17 +111,47 @@ type peerSeen struct {
 	sparse  map[uint64]bool
 }
 
-// nodeStats are the transport-level counters exposed through PullStats.
+// nodeStats are the transport-level metrics exposed through PullStats, the
+// Prometheus endpoint, and the PullMetrics histogram snapshots. They live in
+// the node's obs registry; these fields are just the hot-path handles.
 type nodeStats struct {
-	framesSent     atomic.Int64
-	framesRecv     atomic.Int64
-	retransmits    atomic.Int64
-	dropsInjected  atomic.Int64
-	delaysInjected atomic.Int64
-	dupsInjected   atomic.Int64
-	connects       atomic.Int64
-	connFailures   atomic.Int64
-	decidesRecv    atomic.Int64
+	framesSent     *obs.Counter
+	framesRecv     *obs.Counter
+	retransmits    *obs.Counter
+	dropsInjected  *obs.Counter
+	delaysInjected *obs.Counter
+	dupsInjected   *obs.Counter
+	connects       *obs.Counter
+	connFailures   *obs.Counter
+	decidesRecv    *obs.Counter
+
+	// decideLatency observes each local decision's start-to-decide time;
+	// tableLatency observes start-to-complete-table time (the point at which
+	// the checker could certify the instance); ackRTT observes the
+	// first-transmission-to-transport-ack round trip per sequenced frame.
+	// All in seconds.
+	decideLatency *obs.Histogram
+	tableLatency  *obs.Histogram
+	ackRTT        *obs.Histogram
+}
+
+// initStats registers the node-level metrics in the registry.
+func (n *Node) initStats() {
+	lat := obs.DefaultLatencyBounds()
+	n.stats = nodeStats{
+		framesSent:     n.reg.Counter("kset_frames_sent_total"),
+		framesRecv:     n.reg.Counter("kset_frames_recv_total"),
+		retransmits:    n.reg.Counter("kset_retransmits_total"),
+		dropsInjected:  n.reg.Counter(`kset_faults_injected_total{kind="drop"}`),
+		delaysInjected: n.reg.Counter(`kset_faults_injected_total{kind="delay"}`),
+		dupsInjected:   n.reg.Counter(`kset_faults_injected_total{kind="dup"}`),
+		connects:       n.reg.Counter("kset_connects_total"),
+		connFailures:   n.reg.Counter("kset_conn_failures_total"),
+		decidesRecv:    n.reg.Counter("kset_decides_recv_total"),
+		decideLatency:  n.reg.Histogram("kset_decide_latency_seconds", lat),
+		tableLatency:   n.reg.Histogram("kset_table_latency_seconds", lat),
+		ackRTT:         n.reg.Histogram("kset_ack_rtt_seconds", lat),
+	}
 }
 
 // NewNode validates the configuration and constructs a node. Call Serve (or
@@ -132,13 +169,25 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.K <= 0 || cfg.T < 0 || cfg.T >= cfg.N {
 		return nil, fmt.Errorf("%w: k=%d t=%d", ErrBadConfig, cfg.K, cfg.T)
 	}
-	if cfg.DialTimeout <= 0 {
+	// Timing knobs: zero selects the default, but a negative value is a
+	// configuration bug, not a choice — and a non-positive Retransmit would
+	// panic the link writer's ticker. Reject loudly instead.
+	if cfg.DialTimeout < 0 {
+		return nil, fmt.Errorf("%w: DialTimeout %v must be positive (or zero for the 1s default)", ErrBadConfig, cfg.DialTimeout)
+	}
+	if cfg.WriteTimeout < 0 {
+		return nil, fmt.Errorf("%w: WriteTimeout %v must be positive (or zero for the 2s default)", ErrBadConfig, cfg.WriteTimeout)
+	}
+	if cfg.Retransmit < 0 {
+		return nil, fmt.Errorf("%w: Retransmit %v must be positive (or zero for the 50ms default)", ErrBadConfig, cfg.Retransmit)
+	}
+	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = time.Second
 	}
-	if cfg.WriteTimeout <= 0 {
+	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = 2 * time.Second
 	}
-	if cfg.Retransmit <= 0 {
+	if cfg.Retransmit == 0 {
 		cfg.Retransmit = 50 * time.Millisecond
 	}
 	if cfg.DefaultProto == theory.ProtoNone {
@@ -151,8 +200,11 @@ func NewNode(cfg Config) (*Node, error) {
 		pending:   make(map[uint64][]wire.Msg),
 		seen:      make([]peerSeen, cfg.N),
 		links:     make([]*link, cfg.N),
+		reg:       obs.NewRegistry(),
+		log:       cfg.Log.With(obs.F("node", cfg.ID)),
 		done:      make(chan struct{}),
 	}
+	n.initStats()
 	for i := 0; i < cfg.N; i++ {
 		if types.ProcessID(i) == cfg.ID {
 			continue
@@ -283,7 +335,10 @@ func (n *Node) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer n.untrackConn(conn)
 
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		n.logf("cluster: set hello read deadline: %v", err)
+		return
+	}
 	first, err := wire.ReadMsg(conn)
 	if err != nil {
 		return
@@ -293,7 +348,10 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.logf("cluster: first frame was %v, want hello", first.Type())
 		return
 	}
-	conn.SetReadDeadline(time.Time{})
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		n.logf("cluster: clear read deadline: %v", err)
+		return
+	}
 	switch hello.Role {
 	case wire.RolePeer:
 		if int(hello.From) < 0 || int(hello.From) >= n.cfg.N || hello.From == n.cfg.ID {
@@ -508,20 +566,60 @@ func (n *Node) Table(id uint64) (wire.Table, bool) {
 	return inst.tableSnapshot(), true
 }
 
+// Metrics returns the node's metric registry (ksetd serves it over HTTP).
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// MetricsSnapshot converts every histogram in the registry into the wire
+// representation (microsecond integers), sorted by name — the PullMetrics
+// reply.
+func (n *Node) MetricsSnapshot() wire.Metrics {
+	snaps := n.reg.Snapshots()
+	out := wire.Metrics{Hists: make([]wire.Hist, 0, len(snaps))}
+	for _, s := range snaps {
+		out.Hists = append(out.Hists, histToWire(s))
+	}
+	return out
+}
+
+// histToWire maps an obs snapshot (float64 seconds) to the wire's
+// microsecond-integer histogram. The overflow bucket is encoded with
+// UpperMicros == math.MaxInt64.
+func histToWire(s obs.HistSnapshot) wire.Hist {
+	h := wire.Hist{
+		Name:      s.Name,
+		Count:     s.Count,
+		SumMicros: micros(s.Sum),
+		Buckets:   make([]wire.HistBucket, 0, len(s.Counts)),
+	}
+	if s.Count > 0 {
+		h.MinMicros = micros(s.Min)
+		h.MaxMicros = micros(s.Max)
+	}
+	for i, bound := range s.Bounds {
+		h.Buckets = append(h.Buckets, wire.HistBucket{UpperMicros: micros(bound), Count: s.Counts[i]})
+	}
+	h.Buckets = append(h.Buckets, wire.HistBucket{UpperMicros: math.MaxInt64, Count: s.Counts[len(s.Bounds)]})
+	return h
+}
+
+func micros(seconds float64) int64 {
+	return int64(math.Round(seconds * 1e6))
+}
+
 // Stats assembles the expvar-style counter dump: node transport counters
 // first, then per-instance counters in ascending instance-id order.
 func (n *Node) Stats() []wire.StatPair {
 	pairs := []wire.StatPair{
 		{Name: "node.id", Value: int64(n.cfg.ID)},
-		{Name: "node.frames_sent", Value: n.stats.framesSent.Load()},
-		{Name: "node.frames_recv", Value: n.stats.framesRecv.Load()},
-		{Name: "node.retransmits", Value: n.stats.retransmits.Load()},
-		{Name: "node.faults.drop", Value: n.stats.dropsInjected.Load()},
-		{Name: "node.faults.delay", Value: n.stats.delaysInjected.Load()},
-		{Name: "node.faults.dup", Value: n.stats.dupsInjected.Load()},
-		{Name: "node.connects", Value: n.stats.connects.Load()},
-		{Name: "node.conn_failures", Value: n.stats.connFailures.Load()},
-		{Name: "node.decides_recv", Value: n.stats.decidesRecv.Load()},
+		{Name: "node.frames_sent", Value: n.stats.framesSent.Value()},
+		{Name: "node.frames_recv", Value: n.stats.framesRecv.Value()},
+		{Name: "node.retransmits", Value: n.stats.retransmits.Value()},
+		{Name: "node.faults.drop", Value: n.stats.dropsInjected.Value()},
+		{Name: "node.faults.delay", Value: n.stats.delaysInjected.Value()},
+		{Name: "node.faults.dup", Value: n.stats.dupsInjected.Value()},
+		{Name: "node.connects", Value: n.stats.connects.Value()},
+		{Name: "node.conn_failures", Value: n.stats.connFailures.Value()},
+		{Name: "node.decides_recv", Value: n.stats.decidesRecv.Value()},
 	}
 	n.mu.Lock()
 	ids := append([]uint64(nil), n.order...)
@@ -559,11 +657,16 @@ func (n *Node) serveCtl(conn net.Conn) {
 			reply = tbl
 		case wire.PullStats:
 			reply = wire.Stats{Pairs: n.Stats()}
+		case wire.PullMetrics:
+			reply = n.MetricsSnapshot()
 		default:
 			n.logf("cluster: unexpected %v frame on ctl connection", m.Type())
 			return
 		}
-		conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+		if err := conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout)); err != nil {
+			n.logf("cluster: ctl set write deadline: %v", err)
+			return
+		}
 		if err := wire.WriteMsg(conn, reply); err != nil {
 			return
 		}

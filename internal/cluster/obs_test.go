@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// TestConfigValidation pins NewNode's rejection of negative timing knobs: a
+// negative Retransmit used to slip through to the link writer (whose ticker
+// panics on non-positive periods), and negative deadlines silently produced
+// already-expired writes.
+func TestConfigValidation(t *testing.T) {
+	base := Config{ID: 0, N: 2, K: 1, T: 0, Peers: []string{"a", "b"}}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative retransmit", func(c *Config) { c.Retransmit = -time.Millisecond }},
+		{"negative dial timeout", func(c *Config) { c.DialTimeout = -time.Second }},
+		{"negative write timeout", func(c *Config) { c.WriteTimeout = -time.Second }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := NewNode(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: NewNode error = %v, want ErrBadConfig", tc.name, err)
+		}
+	}
+	// Zero still selects the defaults rather than erroring.
+	n, err := NewNode(base)
+	if err != nil {
+		t.Fatalf("zero timing config rejected: %v", err)
+	}
+	n.Close()
+}
+
+// TestFlushRequeuesAcksOnDialFailure is the regression test for the ack-loss
+// bug: flush() popped pending acks off the queue before attempting to dial,
+// so a dial failure (or backoff window) silently discarded them and the peer
+// retransmitted until some later inbound frame triggered a fresh ack. The fix
+// re-queues them; this drives one link by hand through dial failure, backoff,
+// and recovery, counting retransmits along the way.
+func TestFlushRequeuesAcksOnDialFailure(t *testing.T) {
+	// Bind-then-close yields an address that refuses connections now but can
+	// be re-bound later for the recovery phase.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := probe.Addr().String()
+	probe.Close()
+
+	n, err := NewNode(Config{
+		ID: 0, N: 2, K: 1, T: 0,
+		Peers:      []string{"127.0.0.1:1", peerAddr},
+		Retransmit: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	l := n.links[1]
+
+	// One transport ack and one sequenced frame are waiting when the peer is
+	// unreachable.
+	l.enqueueAck(7)
+	l.enqueue(wire.Proto{Instance: 1, From: 0, Payload: types.Payload{Kind: types.KindEcho}})
+
+	l.flush() // dial fails
+	l.mu.Lock()
+	acks, queued := append([]uint64(nil), l.acks...), len(l.queue)
+	l.mu.Unlock()
+	if len(acks) != 1 || acks[0] != 7 {
+		t.Fatalf("after failed dial: acks = %v, want [7]", acks)
+	}
+	if queued != 1 {
+		t.Fatalf("after failed dial: %d queued frames, want 1", queued)
+	}
+	if got := l.mDialFailures.Value(); got != 1 {
+		t.Errorf("dial failures = %d, want 1", got)
+	}
+	if got := n.stats.framesSent.Value(); got != 0 {
+		t.Errorf("frames sent = %d, want 0", got)
+	}
+
+	// A second round past the retransmit interval counts a retransmission
+	// attempt and still must not lose the ack (the dial is now in backoff).
+	time.Sleep(10 * time.Millisecond)
+	l.flush()
+	if got := n.stats.retransmits.Value(); got < 1 {
+		t.Errorf("retransmits = %d, want >= 1", got)
+	}
+	if got := l.mRetransmits.Value(); got < 1 {
+		t.Errorf("per-peer retransmits = %d, want >= 1", got)
+	}
+	l.mu.Lock()
+	acks = append([]uint64(nil), l.acks...)
+	l.mu.Unlock()
+	if len(acks) != 1 || acks[0] != 7 {
+		t.Fatalf("after backoff round: acks = %v, want [7]", acks)
+	}
+
+	// Recovery: the peer comes back on the same address; the next flush must
+	// deliver the ack first, then the frame.
+	ln, err := net.Listen("tcp", peerAddr)
+	if err != nil {
+		t.Skipf("could not re-bind %s: %v", peerAddr, err)
+	}
+	defer ln.Close()
+	l.nextDialAt = time.Time{} // cancel the backoff window
+	time.Sleep(10 * time.Millisecond)
+	l.flush()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	first, err := wire.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := first.(wire.Hello); !ok {
+		t.Fatalf("first frame = %#v, want Hello", first)
+	}
+	second, err := wire.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := second.(wire.Ack)
+	if !ok || ack.Seq != 7 {
+		t.Fatalf("second frame = %#v, want Ack{Seq:7}", second)
+	}
+	third, err := wire.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := third.(wire.Proto); !ok || p.Instance != 1 {
+		t.Fatalf("third frame = %#v, want the queued Proto", third)
+	}
+	l.mu.Lock()
+	acksLeft := len(l.acks)
+	l.mu.Unlock()
+	if acksLeft != 0 {
+		t.Errorf("%d acks still queued after successful flush", acksLeft)
+	}
+}
+
+// TestMetricsPull runs a real loopback instance to completion and checks the
+// PullMetrics path end to end: every node serves histogram snapshots over the
+// control connection, the decide-latency histogram has recorded the local
+// decision, the cluster-wide merge sees all three, and the Prometheus
+// exposition contains the histogram series.
+func TestMetricsPull(t *testing.T) {
+	const n = 3
+	lb, err := StartLoopback(LoopbackConfig{N: n, K: 1, T: 0, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	inputs := []types.Value{4, 1, 6}
+	startEverywhere(t, lb, 2, 1, 0, theory.ProtoFloodMin, inputs)
+	deadline := time.Now().Add(10 * time.Second)
+	for _, node := range lb.Nodes {
+		awaitTable(t, node, 2, allAlive(n), deadline)
+	}
+
+	var perNode []wire.Hist
+	for i := range lb.Nodes {
+		c, err := DialNode(lb.Addrs[i], 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Metrics()
+		c.Close()
+		if err != nil {
+			t.Fatalf("pull metrics from node %d: %v", i, err)
+		}
+		var found *wire.Hist
+		for j := range m.Hists {
+			if m.Hists[j].Name == "kset_decide_latency_seconds" {
+				found = &m.Hists[j]
+				break
+			}
+		}
+		if found == nil {
+			t.Fatalf("node %d metrics lack kset_decide_latency_seconds (%d hists)", i, len(m.Hists))
+		}
+		if found.Count < 1 {
+			t.Errorf("node %d decide latency count = %d, want >= 1", i, found.Count)
+		}
+		if found.Count > 0 && (found.MinMicros <= 0 || found.MaxMicros < found.MinMicros) {
+			t.Errorf("node %d decide latency extrema [%d, %d] implausible", i, found.MinMicros, found.MaxMicros)
+		}
+		perNode = append(perNode, *found)
+	}
+	merged := wire.MergeHists(perNode)
+	if merged.Count != n {
+		t.Errorf("cluster-wide decide count = %d, want %d", merged.Count, n)
+	}
+
+	// The same histogram must appear in the Prometheus exposition ksetd
+	// serves over HTTP.
+	var b strings.Builder
+	if err := lb.Nodes[0].Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE kset_decide_latency_seconds histogram",
+		`kset_decide_latency_seconds_bucket{le="+Inf"}`,
+		"kset_decide_latency_seconds_count 1",
+		"kset_frames_sent_total",
+		`kset_link_dials_total{peer="1"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -74,10 +74,11 @@ func DefaultAnalyzers() []Analyzer {
 // The determinism contract covers every package that executes or inspects
 // simulated runs, plus the wire codec (pure computation by design); the lock
 // discipline contract covers the runtimes that use real mutexes (the live
-// ones, smmem's turn-based goroutine pool, and the cluster runtime). The
-// cluster runtime is inherently nondeterministic (real network, real clocks)
-// so it stays out of the determinism scope, but its map iteration and
-// randomness sourcing are held to the same standard as the simulators.
+// ones, smmem's turn-based goroutine pool, the cluster runtime, and the obs
+// metrics registry, whose map is mutex-guarded). The cluster runtime is
+// inherently nondeterministic (real network, real clocks) so it stays out of
+// the determinism scope, but its map iteration and randomness sourcing are
+// held to the same standard as the simulators.
 func DefaultScopes() map[string][]string {
 	deterministic := []string{
 		"kset/internal/protocols",
@@ -130,6 +131,7 @@ func DefaultScopes() map[string][]string {
 			"kset/internal/smlive",
 			"kset/internal/smmem",
 			"kset/internal/cluster",
+			"kset/internal/obs",
 		},
 	}
 }

@@ -1,0 +1,58 @@
+package mplive
+
+import (
+	"testing"
+	"time"
+
+	"kset/internal/mpnet"
+	"kset/internal/obs"
+	"kset/internal/protocols/mp"
+	"kset/internal/types"
+)
+
+// TestRunMetrics checks a metrics-enabled run populates the round-timing
+// histograms: one decide observation per correct process, one run
+// observation, and a positive message counter.
+func TestRunMetrics(t *testing.T) {
+	const n = 5
+	reg := obs.NewRegistry()
+	rec, err := Run(Config{
+		N: n, T: 1, K: 2,
+		Inputs:      distinctInputs(n),
+		NewProtocol: func(types.ProcessID) mpnet.Protocol { return mp.NewFloodMin() },
+		Seed:        3,
+		MaxDelay:    200 * time.Microsecond,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decided := 0
+	for _, d := range rec.Decided {
+		if d {
+			decided++
+		}
+	}
+	if got := reg.Histogram("kset_mplive_decide_seconds", nil).Snapshot("").Count; got != uint64(decided) {
+		t.Errorf("decide observations = %d, want %d", got, decided)
+	}
+	if got := reg.Histogram("kset_mplive_run_seconds", nil).Snapshot("").Count; got != 1 {
+		t.Errorf("run observations = %d, want 1", got)
+	}
+	if got := reg.Counter("kset_mplive_runs_total").Value(); got != 1 {
+		t.Errorf("runs counter = %d, want 1", got)
+	}
+	if got := reg.Counter("kset_mplive_messages_total").Value(); got != int64(rec.Messages) {
+		t.Errorf("messages counter = %d, want %d", got, rec.Messages)
+	}
+	// A nil registry must be accepted: instrumentation is unconditional.
+	if _, err := Run(Config{
+		N: 3, T: 0, K: 1,
+		Inputs:      distinctInputs(3),
+		NewProtocol: func(types.ProcessID) mpnet.Protocol { return mp.NewFloodMin() },
+		Seed:        4,
+		MaxDelay:    200 * time.Microsecond,
+	}); err != nil {
+		t.Fatalf("nil-metrics run: %v", err)
+	}
+}

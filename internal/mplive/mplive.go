@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"kset/internal/mpnet"
+	"kset/internal/obs"
 	"kset/internal/prng"
 	"kset/internal/types"
 )
@@ -53,6 +54,13 @@ type Config struct {
 	// Timeout bounds the whole run (default 10s). On timeout the record is
 	// returned with BudgetExhausted set.
 	Timeout time.Duration
+
+	// Metrics, if non-nil, receives run timings: kset_mplive_run_seconds
+	// (whole-run wall time), kset_mplive_decide_seconds (per-process
+	// start-to-decide), and the kset_mplive_runs_total /
+	// kset_mplive_messages_total counters. Timings are wall-clock and do not
+	// influence the run, so determinism of the record is unaffected.
+	Metrics *obs.Registry
 }
 
 // Errors reported by Run.
@@ -231,6 +239,8 @@ func Run(cfg Config) (*types.RunRecord, error) {
 
 	// Coordinator: wait until every process that can still decide has
 	// decided or crashed, then end the run.
+	started := time.Now()
+	decideHist := cfg.Metrics.Histogram("kset_mplive_decide_seconds", obs.DefaultLatencyBounds())
 	needed := make(map[types.ProcessID]bool, cfg.N)
 	faulty := make(map[types.ProcessID]bool, cfg.N)
 	for _, p := range rt.procs {
@@ -249,6 +259,9 @@ func Run(cfg Config) (*types.RunRecord, error) {
 			if ev.crashed {
 				faulty[ev.pid] = true
 			}
+			if ev.decided {
+				decideHist.Observe(time.Since(started).Seconds())
+			}
 			if ev.crashed || ev.decided {
 				delete(needed, ev.pid)
 			}
@@ -259,6 +272,11 @@ func Run(cfg Config) (*types.RunRecord, error) {
 	close(rt.done)
 	rt.deliveries.Wait()
 	rt.procsWG.Wait()
+
+	cfg.Metrics.Histogram("kset_mplive_run_seconds", obs.DefaultLatencyBounds()).
+		Observe(time.Since(started).Seconds())
+	cfg.Metrics.Counter("kset_mplive_runs_total").Inc()
+	cfg.Metrics.Counter("kset_mplive_messages_total").Add(int64(rt.messages))
 
 	rec := &types.RunRecord{
 		N: cfg.N, T: cfg.T, K: cfg.K,

@@ -1,0 +1,45 @@
+package smlive
+
+import (
+	"testing"
+
+	"kset/internal/obs"
+	"kset/internal/protocols/sm"
+	"kset/internal/smmem"
+	"kset/internal/types"
+)
+
+// TestRunMetrics checks a metrics-enabled shared-memory run populates the
+// timing histograms and operation counter.
+func TestRunMetrics(t *testing.T) {
+	const n = 5
+	reg := obs.NewRegistry()
+	rec, err := Run(Config{
+		N: n, T: n - 1, K: 2,
+		Inputs:      uniformInputs(n, 7),
+		NewProtocol: func(types.ProcessID) smmem.Protocol { return sm.NewProtocolE() },
+		Seed:        5,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decided := 0
+	for _, d := range rec.Decided {
+		if d {
+			decided++
+		}
+	}
+	if got := reg.Histogram("kset_smlive_decide_seconds", nil).Snapshot("").Count; got != uint64(decided) {
+		t.Errorf("decide observations = %d, want %d", got, decided)
+	}
+	if got := reg.Histogram("kset_smlive_run_seconds", nil).Snapshot("").Count; got != 1 {
+		t.Errorf("run observations = %d, want 1", got)
+	}
+	if got := reg.Counter("kset_smlive_ops_total").Value(); got != int64(rec.Events) {
+		t.Errorf("ops counter = %d, want %d", got, rec.Events)
+	}
+	if got := reg.Counter("kset_smlive_runs_total").Value(); got != 1 {
+		t.Errorf("runs counter = %d, want 1", got)
+	}
+}

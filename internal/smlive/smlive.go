@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kset/internal/obs"
 	"kset/internal/prng"
 	"kset/internal/smmem"
 	"kset/internal/types"
@@ -50,6 +51,12 @@ type Config struct {
 	// Timeout bounds the run (default 10s); on expiry the record is
 	// returned with BudgetExhausted set.
 	Timeout time.Duration
+
+	// Metrics, if non-nil, receives run timings: kset_smlive_run_seconds,
+	// kset_smlive_decide_seconds, and the kset_smlive_runs_total /
+	// kset_smlive_ops_total counters. Timings are wall-clock and do not
+	// influence the run.
+	Metrics *obs.Registry
 }
 
 // Errors reported by Run.
@@ -241,6 +248,8 @@ func Run(cfg Config) (*types.RunRecord, error) {
 
 	// Coordinator: wait for every process that can decide to decide or
 	// crash, then halt everyone.
+	started := time.Now()
+	decideHist := cfg.Metrics.Histogram("kset_smlive_decide_seconds", obs.DefaultLatencyBounds())
 	needed := make(map[types.ProcessID]bool, cfg.N)
 	faulty := make(map[types.ProcessID]bool, cfg.N)
 	for _, p := range rt.procs {
@@ -259,6 +268,9 @@ func Run(cfg Config) (*types.RunRecord, error) {
 			if ev.crashed {
 				faulty[ev.pid] = true
 			}
+			if ev.decided {
+				decideHist.Observe(time.Since(started).Seconds())
+			}
 			delete(needed, ev.pid)
 		case <-timer.C:
 			timedOut = true
@@ -266,6 +278,10 @@ func Run(cfg Config) (*types.RunRecord, error) {
 	}
 	rt.halted.Store(true)
 	wg.Wait()
+
+	cfg.Metrics.Histogram("kset_smlive_run_seconds", obs.DefaultLatencyBounds()).
+		Observe(time.Since(started).Seconds())
+	cfg.Metrics.Counter("kset_smlive_runs_total").Inc()
 
 	rec := &types.RunRecord{
 		N: cfg.N, T: cfg.T, K: cfg.K,
@@ -283,6 +299,7 @@ func Run(cfg Config) (*types.RunRecord, error) {
 		rec.Decisions[i] = p.decision
 		rec.Events += p.ops
 	}
+	cfg.Metrics.Counter("kset_smlive_ops_total").Add(int64(rec.Events))
 	return rec, nil
 }
 

@@ -76,6 +76,26 @@ func Encode(m Msg) ([]byte, error) {
 			e.buf = append(e.buf, p.Name...)
 			e.i64(p.Value)
 		}
+	case PullMetrics:
+		// No fields.
+	case Metrics:
+		e.count(len(v.Hists), MaxHists, "metrics hists")
+		for _, h := range v.Hists {
+			if len(h.Name) > MaxName {
+				return nil, fmt.Errorf("%w: metrics name %d bytes", ErrTooLarge, len(h.Name))
+			}
+			e.u16(uint16(len(h.Name)))
+			e.buf = append(e.buf, h.Name...)
+			e.u64(h.Count)
+			e.i64(h.SumMicros)
+			e.i64(h.MinMicros)
+			e.i64(h.MaxMicros)
+			e.count(len(h.Buckets), MaxBuckets+1, "metrics buckets")
+			for _, b := range h.Buckets {
+				e.i64(b.UpperMicros)
+				e.u64(b.Count)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("%w: unknown message %T", ErrBadFrame, m)
 	}
@@ -179,6 +199,43 @@ func Decode(body []byte) (Msg, error) {
 			}
 		}
 		m = st
+	case TypePullMetrics:
+		m = PullMetrics{}
+	case TypeMetrics:
+		mt := Metrics{}
+		hists := d.count(MaxHists, "metrics hists")
+		if d.err == nil {
+			// Each histogram is at least 38 bytes (empty name, no buckets);
+			// reject counts the remaining bytes cannot satisfy before
+			// allocating.
+			if rem := len(d.buf) - d.off; hists*38 > rem {
+				return nil, fmt.Errorf("%w: %d histograms in %d bytes", ErrBadFrame, hists, rem)
+			}
+			mt.Hists = make([]Hist, hists)
+			for i := range mt.Hists {
+				h := &mt.Hists[i]
+				h.Name = d.name()
+				h.Count = d.u64()
+				h.SumMicros = d.i64()
+				h.MinMicros = d.i64()
+				h.MaxMicros = d.i64()
+				buckets := d.count(MaxBuckets+1, "metrics buckets")
+				if d.err != nil {
+					break
+				}
+				if rem := len(d.buf) - d.off; buckets*16 > rem {
+					return nil, fmt.Errorf("%w: %d buckets in %d bytes", ErrBadFrame, buckets, rem)
+				}
+				if buckets > 0 {
+					h.Buckets = make([]HistBucket, buckets)
+					for j := range h.Buckets {
+						h.Buckets[j].UpperMicros = d.i64()
+						h.Buckets[j].Count = d.u64()
+					}
+				}
+			}
+		}
+		m = mt
 	default:
 		if d.err != nil {
 			return nil, d.err

@@ -35,6 +35,8 @@ const (
 	MaxProcs      = 1 << 12 // processes in a table
 	MaxStatsPairs = 1 << 12 // counters in a stats reply
 	MaxName       = 1 << 8  // bytes in a counter name
+	MaxHists      = 1 << 9  // histograms in a metrics reply
+	MaxBuckets    = 1 << 6  // finite buckets in one histogram
 )
 
 // Errors reported by the codec.
@@ -61,6 +63,8 @@ const (
 	TypeTable
 	TypePullStats
 	TypeStats
+	TypePullMetrics
+	TypeMetrics
 )
 
 // String names the type for logs and errors.
@@ -86,6 +90,10 @@ func (t MsgType) String() string {
 		return "pull-stats"
 	case TypeStats:
 		return "stats"
+	case TypePullMetrics:
+		return "pull-metrics"
+	case TypeMetrics:
+		return "metrics"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -209,14 +217,156 @@ type Stats struct {
 	Pairs []StatPair
 }
 
+// PullMetrics asks a node for histogram snapshots of its latency metrics
+// (decision latency, ack round trips, backoff) — the cluster-wide view
+// ksetctl aggregates across every node.
+type PullMetrics struct{}
+
+// HistBucket is one bucket of a histogram snapshot: the count of
+// observations at or below UpperMicros (exclusive of the previous bucket's
+// bound). The overflow bucket carries UpperMicros == math.MaxInt64.
+type HistBucket struct {
+	// UpperMicros is the bucket's inclusive upper bound in microseconds.
+	UpperMicros int64
+	// Count is the number of observations in this bucket (not cumulative).
+	Count uint64
+}
+
+// Hist is one histogram snapshot in a Metrics reply. All durations are
+// integer microseconds: the wire stays float-free, so every frame
+// round-trips bit-exactly.
+type Hist struct {
+	Name  string
+	Count uint64
+	// SumMicros, MinMicros, MaxMicros summarize the raw observations. Min
+	// and Max are 0 when Count is 0.
+	SumMicros int64
+	MinMicros int64
+	MaxMicros int64
+	Buckets   []HistBucket
+}
+
+// Metrics is a node's histogram snapshot dump, sorted by name.
+type Metrics struct {
+	Hists []Hist
+}
+
+// Mean returns the mean observation in microseconds (0 when empty).
+func (h Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.SumMicros) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in microseconds by linear
+// interpolation within the bucket containing it, clamped to [Min, Max]. An
+// empty histogram returns 0.
+func (h Hist) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, b := range h.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		if float64(cum+b.Count) >= rank {
+			lo := float64(h.MinMicros)
+			if i > 0 {
+				lo = float64(h.Buckets[i-1].UpperMicros)
+			}
+			hi := float64(b.UpperMicros)
+			if hi > float64(h.MaxMicros) {
+				hi = float64(h.MaxMicros)
+			}
+			if lo > hi {
+				lo = hi
+			}
+			v := lo + (hi-lo)*(rank-float64(cum))/float64(b.Count)
+			return h.clamp(v)
+		}
+		cum += b.Count
+	}
+	return h.clamp(float64(h.MaxMicros))
+}
+
+func (h Hist) clamp(v float64) float64 {
+	if v < float64(h.MinMicros) {
+		return float64(h.MinMicros)
+	}
+	if v > float64(h.MaxMicros) {
+		return float64(h.MaxMicros)
+	}
+	return v
+}
+
+// MergeHists combines same-shaped histograms (identical names and bucket
+// bounds) into one — the cluster-wide aggregate of one metric pulled from
+// every node. Histograms whose bucket bounds differ from the first are
+// skipped; merging an empty slice yields a zero Hist.
+func MergeHists(hists []Hist) Hist {
+	var out Hist
+	first := true
+	for _, h := range hists {
+		if first {
+			out.Name = h.Name
+			out.Buckets = make([]HistBucket, len(h.Buckets))
+			copy(out.Buckets, h.Buckets)
+			for i := range out.Buckets {
+				out.Buckets[i].Count = 0
+			}
+			first = false
+		}
+		if !sameBucketBounds(out.Buckets, h.Buckets) {
+			continue
+		}
+		for i, b := range h.Buckets {
+			out.Buckets[i].Count += b.Count
+		}
+		if h.Count > 0 {
+			if out.Count == 0 || h.MinMicros < out.MinMicros {
+				out.MinMicros = h.MinMicros
+			}
+			if out.Count == 0 || h.MaxMicros > out.MaxMicros {
+				out.MaxMicros = h.MaxMicros
+			}
+		}
+		out.Count += h.Count
+		out.SumMicros += h.SumMicros
+	}
+	return out
+}
+
+func sameBucketBounds(a, b []HistBucket) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].UpperMicros != b[i].UpperMicros {
+			return false
+		}
+	}
+	return true
+}
+
 // Type implementations.
-func (Hello) Type() MsgType     { return TypeHello }
-func (Start) Type() MsgType     { return TypeStart }
-func (StartAck) Type() MsgType  { return TypeStartAck }
-func (Proto) Type() MsgType     { return TypeProto }
-func (Ack) Type() MsgType       { return TypeAck }
-func (Decide) Type() MsgType    { return TypeDecide }
-func (PullTable) Type() MsgType { return TypePullTable }
-func (Table) Type() MsgType     { return TypeTable }
-func (PullStats) Type() MsgType { return TypePullStats }
-func (Stats) Type() MsgType     { return TypeStats }
+func (Hello) Type() MsgType       { return TypeHello }
+func (Start) Type() MsgType       { return TypeStart }
+func (StartAck) Type() MsgType    { return TypeStartAck }
+func (Proto) Type() MsgType       { return TypeProto }
+func (Ack) Type() MsgType         { return TypeAck }
+func (Decide) Type() MsgType      { return TypeDecide }
+func (PullTable) Type() MsgType   { return TypePullTable }
+func (Table) Type() MsgType       { return TypeTable }
+func (PullStats) Type() MsgType   { return TypePullStats }
+func (Stats) Type() MsgType       { return TypeStats }
+func (PullMetrics) Type() MsgType { return TypePullMetrics }
+func (Metrics) Type() MsgType     { return TypeMetrics }

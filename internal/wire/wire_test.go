@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -29,6 +30,19 @@ func sampleMsgs() []Msg {
 		Stats{Pairs: []StatPair{
 			{Name: "node.frames_sent", Value: 128},
 			{Name: "inst.42.latency_us", Value: 913},
+		}},
+		PullMetrics{},
+		Metrics{Hists: []Hist{
+			{
+				Name: "kset_decide_latency_seconds", Count: 3,
+				SumMicros: 5055, MinMicros: 500, MaxMicros: 5000,
+				Buckets: []HistBucket{
+					{UpperMicros: 1000, Count: 1},
+					{UpperMicros: 10000, Count: 2},
+					{UpperMicros: math.MaxInt64, Count: 0},
+				},
+			},
+			{Name: "kset_ack_rtt_seconds"},
 		}},
 	}
 }
@@ -61,6 +75,16 @@ func normalize(m Msg) Msg {
 	case Stats:
 		if len(v.Pairs) == 0 {
 			v.Pairs = nil
+		}
+		return v
+	case Metrics:
+		if len(v.Hists) == 0 {
+			v.Hists = nil
+		}
+		for i := range v.Hists {
+			if len(v.Hists[i].Buckets) == 0 {
+				v.Hists[i].Buckets = nil
+			}
 		}
 		return v
 	}
@@ -144,10 +168,58 @@ func TestEncodeRejects(t *testing.T) {
 		{"start k negative", Start{K: -1}},
 		{"table too wide", Table{Rows: make([]TableRow, MaxProcs+1)}},
 		{"stats name too long", Stats{Pairs: []StatPair{{Name: string(make([]byte, MaxName+1))}}}},
+		{"metrics name too long", Metrics{Hists: []Hist{{Name: string(make([]byte, MaxName+1))}}}},
+		{"metrics too many hists", Metrics{Hists: make([]Hist, MaxHists+1)}},
+		{"metrics too many buckets", Metrics{Hists: []Hist{{Name: "h", Buckets: make([]HistBucket, MaxBuckets+2)}}}},
 	}
 	for _, tc := range cases {
 		if _, err := Encode(tc.m); err == nil {
 			t.Errorf("%s: Encode accepted %#v", tc.name, tc.m)
+		}
+	}
+}
+
+// TestHistAggregation pins the helpers ksetctl uses to turn per-node
+// histogram pulls into a cluster-wide latency summary.
+func TestHistAggregation(t *testing.T) {
+	mk := func(name string, counts [3]uint64, count uint64, sum, min, max int64) Hist {
+		return Hist{
+			Name: name, Count: count, SumMicros: sum, MinMicros: min, MaxMicros: max,
+			Buckets: []HistBucket{
+				{UpperMicros: 1000, Count: counts[0]},
+				{UpperMicros: 10000, Count: counts[1]},
+				{UpperMicros: math.MaxInt64, Count: counts[2]},
+			},
+		}
+	}
+	a := mk("lat", [3]uint64{2, 1, 0}, 3, 4500, 500, 3000)
+	b := mk("lat", [3]uint64{0, 2, 1}, 3, 32000, 2000, 20000)
+	merged := MergeHists([]Hist{a, b, {}})
+	if merged.Count != 6 {
+		t.Errorf("merged count = %d, want 6", merged.Count)
+	}
+	if merged.MinMicros != 500 || merged.MaxMicros != 20000 {
+		t.Errorf("merged extrema = [%d, %d], want [500, 20000]", merged.MinMicros, merged.MaxMicros)
+	}
+	if merged.SumMicros != 36500 {
+		t.Errorf("merged sum = %d, want 36500", merged.SumMicros)
+	}
+	if got, want := merged.Mean(), 36500.0/6; got != want {
+		t.Errorf("merged mean = %v, want %v", got, want)
+	}
+	// Quantiles stay inside the observed range and order correctly.
+	p50, p95 := merged.Quantile(0.50), merged.Quantile(0.95)
+	if p50 < 500 || p95 > 20000 || p50 > p95 {
+		t.Errorf("quantiles out of order/range: p50=%v p95=%v", p50, p95)
+	}
+	if got := (Hist{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty hist quantile = %v, want 0", got)
+	}
+	// A single observation: every quantile is that observation.
+	one := mk("lat", [3]uint64{0, 1, 0}, 1, 2500, 2500, 2500)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := one.Quantile(q); got != 2500 {
+			t.Errorf("one-sample q%.2f = %v, want 2500", q, got)
 		}
 	}
 }
