@@ -20,9 +20,12 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# Repo-specific static analysis: determinism, map-order, prng-flow, and
-# lock-discipline contracts. See docs/lint.md. Exits non-zero on findings.
+# Static analysis: go vet plus the repo-specific analyzers — determinism,
+# map-order, prng-flow, lock-discipline, and the concurrency-safety suite
+# (errflow, goroutinelife, lockheldio, wirebounds). See docs/lint.md.
+# Exits non-zero on findings.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/ksetlint
 
 test:

@@ -68,7 +68,7 @@ func dialAll(addrs []string, timeout time.Duration) ([]*cluster.Client, error) {
 func closeAll(clients []*cluster.Client) {
 	for _, c := range clients {
 		if c != nil {
-			c.Close()
+			_ = c.Close() // teardown of a connection we are abandoning
 		}
 	}
 }
@@ -290,11 +290,11 @@ func runStats(args []string, out io.Writer) error {
 		}
 		pairs, err := c.Stats()
 		if err != nil {
-			c.Close()
+			_ = c.Close()
 			return fmt.Errorf("stats from node %d: %w", i, err)
 		}
 		m, err := c.Metrics()
-		c.Close()
+		_ = c.Close()
 		if err != nil {
 			return fmt.Errorf("metrics from node %d: %w", i, err)
 		}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -40,14 +42,9 @@ import (
 )
 
 func main() {
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	stop := make(chan struct{})
-	go func() {
-		<-sig
-		close(stop)
-	}()
-	if err := run(os.Args[1:], os.Stderr, stop, nil); err != nil {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(os.Args[1:], os.Stderr, ctx.Done(), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "ksetd:", err)
 		os.Exit(1)
 	}
@@ -146,6 +143,7 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- ready
 
 	metricsAddr := ""
 	var msrv *http.Server
+	var msrvWG sync.WaitGroup
 	if *metrics != "" {
 		mln, err := net.Listen("tcp", *metrics)
 		if err != nil {
@@ -154,7 +152,9 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- ready
 		}
 		metricsAddr = mln.Addr().String()
 		msrv = &http.Server{Handler: metricsMux(node)}
+		msrvWG.Add(1)
 		go func() {
+			defer msrvWG.Done()
 			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
 				logger.Printf("metrics server: %v", err)
 			}
@@ -168,7 +168,10 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- ready
 	<-stop
 	logger.Printf("shutting down")
 	if msrv != nil {
-		msrv.Close()
+		if err := msrv.Close(); err != nil {
+			logger.Printf("metrics server close: %v", err)
+		}
+		msrvWG.Wait()
 	}
 	node.Close()
 	return nil

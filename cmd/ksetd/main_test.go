@@ -118,6 +118,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		close(stop)
 		select {
 		case <-errc:
+			// run waits for the metrics-server goroutine before returning,
+			// so by now the listener must be gone: a fresh connection to the
+			// freed ephemeral port must fail.
+			if resp, err := http.Get("http://" + addrs.Metrics + "/healthz"); err == nil {
+				resp.Body.Close()
+				t.Error("metrics endpoint still serving after shutdown")
+			}
 		case <-time.After(5 * time.Second):
 			t.Error("daemon did not shut down")
 		}

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	ksetlint [-C dir] [-rule prefix] [-list]
+//	ksetlint [-C dir] [-rule prefix] [-json] [-sarif file] [-list]
 //
 // It walks the module rooted at -C (default "."), applies every analyzer to
-// the packages in its scope, and prints findings as file:line:col lines.
-// Exit status: 0 clean, 1 findings, 2 usage or load error.
+// the packages in its scope, and prints findings as file:line:col lines —
+// or, with -json, as a machine-readable report on stdout. With -sarif FILE
+// the findings are additionally written as SARIF 2.1.0 for code-scanning
+// ingestion. Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
@@ -29,8 +31,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ksetlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "module root to lint (directory containing go.mod)")
-	rule := fs.String("rule", "", "only report findings whose rule id has this prefix (e.g. determinism, maporder.range)")
-	list := fs.Bool("list", false, "list analyzers and audited packages, then exit")
+	rule := fs.String("rule", "", "only report findings whose rule id has this prefix (e.g. errflow, maporder.range)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON report on stdout")
+	sarifFile := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	list := fs.Bool("list", false, "list analyzers, rule ids, and audited packages, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,14 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *list {
-		names := make([]string, 0, len(analyzers))
-		for _, a := range analyzers {
-			names = append(names, a.Name())
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Fprintf(stdout, "%s: %s\n", name, strings.Join(scopes[name], " "))
-		}
+		printList(stdout, analyzers, scopes)
 		return 0
 	}
 
@@ -62,19 +59,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ksetlint: %v\n", err)
 		return 2
 	}
-	shown := 0
+	shown := findings[:0:0]
 	for _, f := range findings {
 		if *rule != "" && !strings.HasPrefix(f.Rule, *rule) {
 			continue
 		}
-		fmt.Fprintln(stdout, f)
-		shown++
+		shown = append(shown, f)
 	}
-	if shown > 0 {
-		fmt.Fprintf(stdout, "ksetlint: %d finding(s)\n", shown)
+
+	if *sarifFile != "" {
+		if err := writeSARIFFile(*sarifFile, shown, analyzers, *dir); err != nil {
+			fmt.Fprintf(stderr, "ksetlint: %v\n", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, shown, *dir); err != nil {
+			fmt.Fprintf(stderr, "ksetlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range shown {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(shown) > 0 {
+			fmt.Fprintf(stdout, "ksetlint: %d finding(s)\n", len(shown))
+		}
+	}
+	if len(shown) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printList writes each analyzer with its audited package prefixes and the
+// rule ids it can emit, then the engine's directive-audit rule.
+func printList(w io.Writer, analyzers []lint.Analyzer, scopes map[string][]string) {
+	sorted := append([]lint.Analyzer(nil), analyzers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name() < sorted[j].Name() })
+	for _, a := range sorted {
+		fmt.Fprintf(w, "%s: %s\n", a.Name(), strings.Join(scopes[a.Name()], " "))
+		for _, r := range a.Rules() {
+			fmt.Fprintf(w, "  %s: %s\n", r.ID, r.Doc)
+		}
+	}
+	allow := lint.AllowRule()
+	fmt.Fprintf(w, "lint: every audited package\n  %s: %s\n", allow.ID, allow.Doc)
+}
+
+func writeSARIFFile(path string, findings []lint.Finding, analyzers []lint.Analyzer, root string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lint.WriteSARIF(f, findings, analyzers, root); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // knownRulePrefix reports whether prefix could match a real rule id: it must

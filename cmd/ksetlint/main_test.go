@@ -1,13 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
-// TestBadModule runs the driver over a fixture module seeded with one
-// violation per analyzer and checks findings, order, and exit status.
+// TestBadModule runs the driver over a fixture module seeded with at least
+// one violation per analyzer and checks findings, order, and exit status.
 func TestBadModule(t *testing.T) {
 	var out, errs strings.Builder
 	code := run([]string{"-C", filepath.Join("testdata", "badmod")}, &out, &errs)
@@ -16,12 +19,17 @@ func TestBadModule(t *testing.T) {
 	}
 	got := out.String()
 	for _, want := range []string{
+		"internal/cluster/cluster.go:20:2: errflow.unchecked",
+		"internal/cluster/cluster.go:25:2: goroutinelife.leak",
+		"internal/cluster/cluster.go:37:2: errflow.unchecked",
+		"internal/cluster/cluster.go:37:2: lockheldio.io",
 		"internal/mplive/mplive.go:18:7: lockdiscipline.blocking",
 		"internal/mplive/mplive.go:25:2: lockdiscipline.return",
 		"internal/mpnet/mpnet.go:6:2: prngflow.import",
 		"internal/mpnet/mpnet.go:12:37: determinism.time",
 		"internal/mpnet/mpnet.go:18:2: maporder.range",
-		"ksetlint: 5 finding(s)",
+		"internal/wire/wire.go:8:9: wirebounds.alloc",
+		"ksetlint: 10 finding(s)",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
@@ -30,24 +38,120 @@ func TestBadModule(t *testing.T) {
 }
 
 // TestRuleFilter narrows the report to one analyzer but keeps the failing
-// exit status.
+// exit status, for each analyzer in the suite.
 func TestRuleFilter(t *testing.T) {
+	for _, tc := range []struct {
+		rule string
+		want int
+	}{
+		{"lockdiscipline", 2},
+		{"errflow", 2},
+		{"goroutinelife", 1},
+		{"lockheldio", 1},
+		{"wirebounds", 1},
+		{"errflow.unchecked", 2},
+	} {
+		var out, errs strings.Builder
+		code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-rule", tc.rule}, &out, &errs)
+		if code != 1 {
+			t.Fatalf("-rule %s: exit = %d, want 1", tc.rule, code)
+		}
+		got := out.String()
+		for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+			if !strings.Contains(line, tc.rule) && !strings.HasPrefix(line, "ksetlint:") {
+				t.Errorf("-rule %s leaked %q", tc.rule, line)
+			}
+		}
+		if !strings.Contains(got, "ksetlint: "+itoa(tc.want)+" finding(s)") {
+			t.Errorf("-rule %s: want %d finding(s):\n%s", tc.rule, tc.want, got)
+		}
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}
+
+// TestJSONOutput checks the machine-readable report: valid JSON, module-root
+// relative paths, the full finding set, and the failing exit status.
+func TestJSONOutput(t *testing.T) {
 	var out, errs strings.Builder
-	code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-rule", "lockdiscipline"}, &out, &errs)
+	code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-json"}, &out, &errs)
 	if code != 1 {
-		t.Fatalf("exit = %d, want 1", code)
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errs.String())
 	}
-	got := out.String()
-	if strings.Contains(got, "determinism") || strings.Contains(got, "maporder") {
-		t.Errorf("filter leaked other rules:\n%s", got)
+	var rep struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Rule string `json:"rule"`
+			Msg  string `json:"msg"`
+		} `json:"findings"`
 	}
-	if !strings.Contains(got, "ksetlint: 2 finding(s)") {
-		t.Errorf("want 2 lockdiscipline findings:\n%s", got)
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json emitted invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Count != 10 || len(rep.Findings) != 10 {
+		t.Fatalf("count = %d, findings = %d, want 10/10", rep.Count, len(rep.Findings))
+	}
+	first := rep.Findings[0]
+	if first.File != "internal/cluster/cluster.go" || first.Rule != "errflow.unchecked" {
+		t.Errorf("first finding = %+v, want internal/cluster/cluster.go errflow.unchecked", first)
+	}
+}
+
+// TestSARIFOutput writes the code-scanning file and checks its shape.
+func TestSARIFOutput(t *testing.T) {
+	sarif := filepath.Join(t.TempDir(), "ksetlint.sarif")
+	var out, errs strings.Builder
+	code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-sarif", sarif, "-json"}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errs.String())
+	}
+	raw, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "ksetlint" {
+		t.Fatalf("unexpected SARIF header: %s", raw[:120])
+	}
+	if got := len(log.Runs[0].Results); got != 10 {
+		t.Errorf("SARIF results = %d, want 10", got)
+	}
+	rules := make(map[string]bool)
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, id := range []string{"errflow.unchecked", "goroutinelife.leak", "lockheldio.io", "wirebounds.alloc", "lint.allow"} {
+		if !rules[id] {
+			t.Errorf("SARIF rule table missing %q", id)
+		}
 	}
 }
 
 // TestRepoTreeIsClean is the committed-tree gate: the real module must lint
-// clean, exit 0, print nothing.
+// clean under the full suite — the four concurrency-safety analyzers
+// included — exit 0, print nothing.
 func TestRepoTreeIsClean(t *testing.T) {
 	var out, errs strings.Builder
 	code := run([]string{"-C", filepath.Join("..", "..")}, &out, &errs)
@@ -59,18 +163,53 @@ func TestRepoTreeIsClean(t *testing.T) {
 	}
 }
 
+// TestLintRuntimeBudget guards the whole-module wall time: the suite runs on
+// every CI build and in two test gates, so a regression past 5s is a real
+// cost. Load dominates (type-checking the module); analyzers are linear
+// walks.
+func TestLintRuntimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	var out, errs strings.Builder
+	start := time.Now()
+	code := run([]string{"-C", filepath.Join("..", "..")}, &out, &errs)
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0:\n%s", code, out.String())
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("whole-module lint took %v, budget is 5s", elapsed)
+	}
+}
+
 func TestList(t *testing.T) {
 	var out, errs strings.Builder
 	if code := run([]string{"-list"}, &out, &errs); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, a := range []string{"determinism:", "maporder:", "prngflow:", "lockdiscipline:"} {
-		if !strings.Contains(out.String(), a) {
-			t.Errorf("-list missing %q:\n%s", a, out.String())
+	got := out.String()
+	for _, a := range []string{
+		"determinism:", "maporder:", "prngflow:", "lockdiscipline:",
+		"errflow:", "goroutinelife:", "lockheldio:", "wirebounds:",
+	} {
+		if !strings.Contains(got, a) {
+			t.Errorf("-list missing %q:\n%s", a, got)
 		}
 	}
-	if !strings.Contains(out.String(), "kset/internal/mplive") {
-		t.Errorf("-list should show audited packages:\n%s", out.String())
+	for _, r := range []string{
+		"errflow.unchecked: error from an IO-bearing call",
+		"goroutinelife.leak: go statement with no provable shutdown path",
+		"lockheldio.io: blocking IO call",
+		"wirebounds.alloc: make() sized by a length",
+		"lint.allow:",
+	} {
+		if !strings.Contains(got, r) {
+			t.Errorf("-list missing rule description %q:\n%s", r, got)
+		}
+	}
+	if !strings.Contains(got, "kset/internal/mplive") || !strings.Contains(got, "kset/cmd/ksetd") {
+		t.Errorf("-list should show audited packages:\n%s", got)
 	}
 }
 
@@ -85,5 +224,9 @@ func TestUsageErrors(t *testing.T) {
 	// A typo'd filter must not silently report a clean tree.
 	if code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-rule", "nosuchrule"}, &out, &errs); code != 2 {
 		t.Errorf("unknown rule: exit = %d, want 2", code)
+	}
+	// An unwritable SARIF path is a hard error, not a silent skip.
+	if code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-sarif", filepath.Join("no-such-dir", "x.sarif")}, &out, &errs); code != 2 {
+		t.Errorf("bad sarif path: exit = %d, want 2", code)
 	}
 }

@@ -1,0 +1,11 @@
+// Package wire is a driver-test fixture: a decoder that allocates from a
+// peer-supplied length without bounds-checking it first.
+package wire
+
+// DecodeList sizes the allocation straight from the frame's first byte.
+func DecodeList(buf []byte) []byte {
+	n := int(buf[0])
+	out := make([]byte, n)
+	copy(out, buf[1:])
+	return out
+}

@@ -34,11 +34,11 @@ func DialNode(addr string, timeout time.Duration) (*Client, error) {
 	}
 	c := &Client{conn: conn, timeout: timeout}
 	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	if err := wire.WriteMsg(conn, wire.Hello{From: -1, Role: wire.RoleCtl}); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	return c, nil

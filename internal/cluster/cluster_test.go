@@ -236,3 +236,27 @@ func TestStartIdempotent(t *testing.T) {
 		}
 	}
 }
+
+// TestMinimalRetransmitInterval pins the writer-ticker clamp: Config
+// validation accepts any positive Retransmit, but 1ns halves to zero and
+// time.NewTicker panics on non-positive intervals — a panic that fired on
+// the link writer goroutine and took down the whole process. The clamped
+// writer must come up and still drive an instance to decision.
+func TestMinimalRetransmitInterval(t *testing.T) {
+	const n = 2
+	lb, err := StartLoopback(LoopbackConfig{N: n, K: 1, T: 0, Seed: 5, Retransmit: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	inputs := []types.Value{4, 6}
+	startEverywhere(t, lb, 1, 1, 0, theory.ProtoFloodMin, inputs)
+	deadline := time.Now().Add(10 * time.Second)
+	for i, node := range lb.Nodes {
+		tbl := awaitTable(t, node, 1, allAlive(n), deadline)
+		if _, err := VerifyTable(tbl, inputs, types.RV1, 1); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+}

@@ -171,7 +171,14 @@ func (l *link) writer() {
 	defer l.dropConn()
 	cfg := &l.node.cfg
 	l.rng = prng.New(cfg.Seed + 0x9e37*uint64(l.peer) + 1)
-	tick := time.NewTicker(cfg.Retransmit / 2)
+	// Retransmit is validated positive, but integer halving can still reach
+	// zero (Retransmit == 1ns), and time.NewTicker panics on non-positive
+	// intervals; clamp so the smallest legal config cannot crash the writer.
+	interval := cfg.Retransmit / 2
+	if interval <= 0 {
+		interval = cfg.Retransmit
+	}
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {
@@ -376,7 +383,7 @@ func (l *link) connFailed() {
 
 func (l *link) dropConn() {
 	if l.conn != nil {
-		l.conn.Close()
+		_ = l.conn.Close() // the connection is already failed or superseded
 		l.conn = nil
 		l.bw = nil
 	}

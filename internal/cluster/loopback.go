@@ -44,7 +44,7 @@ func StartLoopback(cfg LoopbackConfig) (*Loopback, error) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			for _, l := range listeners[:i] {
-				l.Close()
+				_ = l.Close()
 			}
 			return nil, err
 		}
@@ -68,7 +68,7 @@ func StartLoopback(cfg LoopbackConfig) (*Loopback, error) {
 		})
 		if err != nil {
 			for _, l := range listeners[i:] {
-				l.Close()
+				_ = l.Close()
 			}
 			lb.Close()
 			return nil, err

@@ -268,7 +268,7 @@ func (n *Node) Close() {
 
 	close(n.done)
 	if n.ln != nil {
-		n.ln.Close()
+		_ = n.ln.Close()
 	}
 	for _, l := range n.links {
 		if l != nil {
@@ -276,7 +276,7 @@ func (n *Node) Close() {
 		}
 	}
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close()
 	}
 	n.wg.Wait()
 }
@@ -296,7 +296,7 @@ func (n *Node) acceptLoop() {
 			return
 		}
 		if !n.trackConn(conn) {
-			conn.Close()
+			_ = conn.Close() // the node is shutting down; drop the accept
 			return
 		}
 		n.wg.Add(1)

@@ -32,6 +32,16 @@ func NewDeterminism() *Determinism { return &Determinism{} }
 // Name implements Analyzer.
 func (*Determinism) Name() string { return "determinism" }
 
+// Rules implements Analyzer.
+func (*Determinism) Rules() []Rule {
+	return []Rule{
+		{ID: "determinism.time", Doc: "simulation code observes or waits on the wall clock"},
+		{ID: "determinism.goroutine", Doc: "simulation code launches a goroutine"},
+		{ID: "determinism.chan", Doc: "simulation code uses channel types or operations"},
+		{ID: "determinism.sync", Doc: "simulation code imports sync or sync/atomic"},
+	}
+}
+
 // timeFuncs are the time package functions that observe or wait on the wall
 // clock. Pure constructors like time.Duration arithmetic are allowed.
 var timeFuncs = map[string]bool{

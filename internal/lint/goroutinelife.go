@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLife requires every go statement in the live stack to be tied to
+// a provable shutdown path, so that Close/Stop on a runtime really means
+// every goroutine it spawned has a way out. A goroutine with no exit signal
+// outlives its owner: it leaks across test runs, holds connections open past
+// shutdown, and turns clean restarts into races. Rule ids:
+//
+//   - goroutinelife.leak: a goroutine body with no shutdown evidence — no
+//     deferred WaitGroup Done, no receive from a done/stop/quit channel or
+//     ctx.Done(), and no deferred close of a completion channel.
+//   - goroutinelife.opaque: the go statement's target cannot be resolved to
+//     a function body in the same package, so nothing can be proven.
+//
+// Evidence is searched in the goroutine's own body (function literal, or a
+// same-package function/method resolved through type information); nested
+// function literals run on their own goroutines and do not count for the
+// outer one. The check is intentionally shallow — a provable shutdown path
+// must be visible in the goroutine body itself, which in this repo it always
+// is: defer wg.Done() first, or a select on the owner's done channel.
+type GoroutineLife struct{}
+
+// NewGoroutineLife returns the goroutinelife analyzer.
+func NewGoroutineLife() *GoroutineLife { return &GoroutineLife{} }
+
+// Name implements Analyzer.
+func (*GoroutineLife) Name() string { return "goroutinelife" }
+
+// Rules implements Analyzer.
+func (*GoroutineLife) Rules() []Rule {
+	return []Rule{
+		{ID: "goroutinelife.leak", Doc: "go statement with no provable shutdown path (WaitGroup Done, done-channel receive, or context cancellation)"},
+		{ID: "goroutinelife.opaque", Doc: "go statement whose target body cannot be resolved in this package"},
+	}
+}
+
+// Check implements Analyzer.
+func (g *GoroutineLife) Check(pkg *Package) []Finding {
+	byObj := make(map[types.Object]*ast.FuncDecl)
+	byName := make(map[string][]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				byObj[obj] = fd
+			}
+			byName[fd.Name.Name] = append(byName[fd.Name.Name], fd)
+		}
+	}
+
+	var out []Finding
+	report := func(pos token.Pos, rule, msg string) {
+		out = append(out, Finding{Pos: pkg.Fset.Position(pos), Rule: rule, Msg: msg})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			target := types.ExprString(gs.Call.Fun)
+			body, resolved := goTargetBody(pkg, byObj, byName, gs.Call)
+			switch {
+			case !resolved:
+				report(gs.Pos(), "goroutinelife.opaque",
+					"go "+target+": target body is outside this package; prove its shutdown path or carry an allow directive")
+			case !hasShutdownEvidence(body):
+				report(gs.Pos(), "goroutinelife.leak",
+					"go "+target+": no shutdown path in the goroutine body (want a deferred WaitGroup Done, a done-channel receive, or ctx.Done())")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goTargetBody resolves the body a go statement will run: a function
+// literal's own body, or the declaration of a same-package function or
+// method. Resolution prefers type information and falls back to matching by
+// name (accepting if any same-named declaration carries evidence, since the
+// fallback cannot distinguish receivers).
+func goTargetBody(pkg *Package, byObj map[types.Object]*ast.FuncDecl, byName map[string][]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, true
+	case *ast.Ident:
+		return declBody(pkg, byObj, byName, fun, fun.Name)
+	case *ast.SelectorExpr:
+		return declBody(pkg, byObj, byName, fun.Sel, fun.Sel.Name)
+	}
+	return nil, false
+}
+
+func declBody(pkg *Package, byObj map[types.Object]*ast.FuncDecl, byName map[string][]*ast.FuncDecl, id *ast.Ident, name string) (*ast.BlockStmt, bool) {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		if fd, ok := byObj[obj]; ok {
+			return fd.Body, true
+		}
+		// Resolved to something declared elsewhere (another package, an
+		// interface method): nothing to inspect.
+		if _, isFunc := obj.(*types.Func); isFunc {
+			return nil, false
+		}
+	}
+	// No type info: accept the name's candidates if any carries evidence.
+	for _, fd := range byName[name] {
+		if hasShutdownEvidence(fd.Body) {
+			return fd.Body, true
+		}
+	}
+	if cands := byName[name]; len(cands) > 0 {
+		return cands[0].Body, true
+	}
+	return nil, false
+}
+
+// hasShutdownEvidence reports whether a goroutine body contains a visible
+// tie to a shutdown path. Nested function literals are skipped: they run on
+// their own goroutines (or later), so their evidence does not terminate this
+// one.
+func hasShutdownEvidence(body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// defer wg.Done() — WaitGroup pairing; defer close(done) — the
+			// goroutine itself is the completion signal.
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+			}
+			if id, ok := ast.Unparen(n.Call.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Call.Args) == 1 {
+				if doneish(types.ExprString(n.Call.Args[0])) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-rt.done, <-ctx.Done(), <-stop: covers select cases too,
+			// since a CommClause's receive is this same expression shape.
+			if n.Op == token.ARROW && doneish(types.ExprString(n.X)) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// range over a done-ish or owner-closed channel drains until
+			// close; treated as shutdown-tied when the name says so.
+			if doneish(types.ExprString(n.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// doneish reports whether a channel expression's printed form names a
+// shutdown signal.
+func doneish(expr string) bool {
+	e := strings.ToLower(expr)
+	for _, marker := range []string{"done", "stop", "quit", "halt", "shutdown", "closing", "cancel"} {
+		if strings.Contains(e, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -17,6 +17,22 @@
 //     every mutex on every return path and never hold one across a blocking
 //     channel operation.
 //
+// The live stack (cluster transport, wire codec, obs, the live runtimes and
+// the daemons) is nondeterministic by nature, so it is held to a different
+// contract — the crash-fault, reliable-network model the protocols assume
+// must survive real IO:
+//
+//   - errflow: errors from IO-bearing calls (conn reads/writes, deadline
+//     setters, Close, Flush, encode/decode) must be checked or explicitly
+//     discarded with a blank assignment.
+//   - goroutinelife: every go statement must be tied to a provable shutdown
+//     path (WaitGroup Add/Done pairing, done-channel receive, or context
+//     cancellation), so nothing leaks past Close.
+//   - lockheldio: no blocking IO call (dial, conn write, time.Sleep) while
+//     a mutex is held — the deadlock/latency class behind the ack-flush bug.
+//   - wirebounds: decode paths in internal/wire must bounds-check every
+//     peer-supplied length before slicing or allocating from it.
+//
 // Legitimate exceptions are documented in the source with
 //
 //	//ksetlint:allow <rule> <reason>
@@ -55,9 +71,27 @@ func (f Finding) String() string {
 type Analyzer interface {
 	// Name returns the analyzer name, the first segment of its rule ids.
 	Name() string
+	// Rules enumerates every rule id the analyzer can emit, with one-line
+	// descriptions for -list and the SARIF rule table.
+	Rules() []Rule
 	// Check analyzes pkg. Allow directives are applied by the caller, so
 	// implementations report every hit unconditionally.
 	Check(pkg *Package) []Finding
+}
+
+// Rule is the static description of one rule id an analyzer can emit.
+type Rule struct {
+	ID  string // dotted rule id, e.g. "errflow.unchecked"
+	Doc string // one-line description
+}
+
+// AllowRule describes the directive-audit rule emitted by the engine itself
+// (malformed or stale //ksetlint:allow directives).
+func AllowRule() Rule {
+	return Rule{
+		ID:  "lint.allow",
+		Doc: "a ksetlint allow directive is malformed (missing rule or reason) or suppresses nothing",
+	}
 }
 
 // DefaultAnalyzers returns the full ksetlint suite.
@@ -67,6 +101,10 @@ func DefaultAnalyzers() []Analyzer {
 		NewMapOrder(),
 		NewPrngFlow(),
 		NewLockDiscipline(),
+		NewErrFlow(),
+		NewGoroutineLife(),
+		NewLockHeldIO(),
+		NewWireBounds(),
 	}
 }
 
@@ -133,7 +171,27 @@ func DefaultScopes() map[string][]string {
 			"kset/internal/cluster",
 			"kset/internal/obs",
 		},
+		"errflow":       liveStack,
+		"goroutinelife": liveStack,
+		"lockheldio":    liveStack,
+		"wirebounds": {
+			"kset/internal/wire",
+		},
 	}
+}
+
+// liveStack is the scope of the concurrency-safety analyzers: every package
+// that performs real IO or runs real goroutines in production paths — the
+// cluster transport, the wire codec, observability, the live runtimes, and
+// both daemon binaries.
+var liveStack = []string{
+	"kset/internal/cluster",
+	"kset/internal/wire",
+	"kset/internal/obs",
+	"kset/internal/mplive",
+	"kset/internal/smlive",
+	"kset/cmd/ksetd",
+	"kset/cmd/ksetctl",
 }
 
 // InScope reports whether import path is covered by one of the prefixes.

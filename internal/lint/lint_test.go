@@ -163,6 +163,46 @@ func TestLockDiscipline(t *testing.T) {
 	checkFixture(t, NewLockDiscipline(), "kset/internal/fixture", "fixture.go")
 }
 
+func TestErrFlow(t *testing.T) {
+	checkFixture(t, NewErrFlow(), "kset/internal/fixture", "fixture.go")
+}
+
+func TestGoroutineLife(t *testing.T) {
+	checkFixture(t, NewGoroutineLife(), "kset/internal/fixture", "fixture.go")
+}
+
+func TestLockHeldIO(t *testing.T) {
+	checkFixture(t, NewLockHeldIO(), "kset/internal/fixture", "fixture.go")
+}
+
+func TestWireBounds(t *testing.T) {
+	checkFixture(t, NewWireBounds(), "kset/internal/fixture", "fixture.go")
+}
+
+// TestRulesMetadata pins the contract -list and the SARIF emitter rely on:
+// every analyzer in the default suite declares at least one rule, every rule
+// id starts with the analyzer's name, and every analyzer has a scope.
+func TestRulesMetadata(t *testing.T) {
+	scopes := DefaultScopes()
+	for _, a := range DefaultAnalyzers() {
+		rules := a.Rules()
+		if len(rules) == 0 {
+			t.Errorf("%s: no rules declared", a.Name())
+		}
+		for _, r := range rules {
+			if !strings.HasPrefix(r.ID, a.Name()+".") {
+				t.Errorf("%s: rule id %q does not extend the analyzer name", a.Name(), r.ID)
+			}
+			if r.Doc == "" {
+				t.Errorf("%s: rule %q has no description", a.Name(), r.ID)
+			}
+		}
+		if len(scopes[a.Name()]) == 0 {
+			t.Errorf("%s: no scope in DefaultScopes", a.Name())
+		}
+	}
+}
+
 func TestInScope(t *testing.T) {
 	prefixes := []string{"kset/internal/mpnet", "kset/internal/protocols"}
 	for path, want := range map[string]bool{

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // LockDiscipline audits the genuinely concurrent runtimes for the two
@@ -32,6 +33,15 @@ func NewLockDiscipline() *LockDiscipline { return &LockDiscipline{} }
 
 // Name implements Analyzer.
 func (*LockDiscipline) Name() string { return "lockdiscipline" }
+
+// Rules implements Analyzer.
+func (*LockDiscipline) Rules() []Rule {
+	return []Rule{
+		{ID: "lockdiscipline.return", Doc: "a return path leaves a mutex locked with no deferred unlock"},
+		{ID: "lockdiscipline.double", Doc: "a mutex is locked again while already held"},
+		{ID: "lockdiscipline.blocking", Doc: "a blocking channel operation or Wait while a mutex is held"},
+	}
+}
 
 // Check implements Analyzer.
 func (*LockDiscipline) Check(pkg *Package) []Finding {
@@ -99,9 +109,17 @@ func sortStrings(s []string) {
 type lockWalker struct {
 	pkg      *Package
 	findings []Finding
+	// ioMode switches the walker from the lockdiscipline rules to the
+	// lockheldio rule: the held-set simulation is identical, but only
+	// blocking IO calls under a held lock are reported (and none of the
+	// lockdiscipline.* findings, which remain that analyzer's job).
+	ioMode bool
 }
 
 func (w *lockWalker) report(pos token.Pos, rule, msg string) {
+	if w.ioMode != strings.HasPrefix(rule, "lockheldio.") {
+		return
+	}
 	w.findings = append(w.findings, Finding{Pos: w.pkg.Fset.Position(pos), Rule: rule, Msg: msg})
 }
 
@@ -299,12 +317,27 @@ func (w *lockWalker) checkBlocking(n ast.Node, held heldSet) {
 				w.reportBlocking(n.OpPos, "channel receive", held)
 			}
 		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
-				w.reportBlocking(n.Pos(), types.ExprString(sel)+"()", held)
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Wait" {
+					w.reportBlocking(n.Pos(), types.ExprString(sel)+"()", held)
+				}
+				if w.ioMode && isBlockingIOCall(w.pkg, sel) {
+					w.reportHeldIO(n.Pos(), types.ExprString(sel)+"()", held)
+				}
 			}
 		}
 		return true
 	})
+}
+
+func (w *lockWalker) reportHeldIO(pos token.Pos, what string, held heldSet) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	w.report(pos, "lockheldio.io",
+		fmt.Sprintf("%s while holding %s: IO under a lock stalls every contender and can deadlock shutdown", what, lockRecv(keys[0])))
 }
 
 func (w *lockWalker) reportBlocking(pos token.Pos, what string, held heldSet) {

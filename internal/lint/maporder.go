@@ -29,6 +29,13 @@ func NewMapOrder() *MapOrder { return &MapOrder{} }
 // Name implements Analyzer.
 func (*MapOrder) Name() string { return "maporder" }
 
+// Rules implements Analyzer.
+func (*MapOrder) Rules() []Rule {
+	return []Rule{
+		{ID: "maporder.range", Doc: "map iteration with side effects leaks nondeterministic order"},
+	}
+}
+
 // Check implements Analyzer.
 func (*MapOrder) Check(pkg *Package) []Finding {
 	var out []Finding

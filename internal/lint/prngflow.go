@@ -30,6 +30,14 @@ func NewPrngFlow() *PrngFlow { return &PrngFlow{PrngPath: "kset/internal/prng"} 
 // Name implements Analyzer.
 func (*PrngFlow) Name() string { return "prngflow" }
 
+// Rules implements Analyzer.
+func (*PrngFlow) Rules() []Rule {
+	return []Rule{
+		{ID: "prngflow.import", Doc: "randomness imported from outside internal/prng"},
+		{ID: "prngflow.seed", Doc: "prng seed derived from a nondeterministic source"},
+	}
+}
+
 // forbiddenEntropy maps forbidden entropy imports to the reason shown.
 var forbiddenEntropy = map[string]string{
 	"math/rand":    "stream is not stable across Go releases",

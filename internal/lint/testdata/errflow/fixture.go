@@ -1,0 +1,53 @@
+package fixture
+
+import (
+	"net"
+	"strings"
+	"time"
+)
+
+// deadlines reproduces the PR 5 bug shape: deadline setters on a live
+// connection whose errors vanish, leaving a dead peer undetected.
+func deadlines(conn net.Conn, d time.Duration) {
+	conn.SetWriteDeadline(time.Now().Add(d)) // want errflow.unchecked
+	conn.SetReadDeadline(time.Now().Add(d))  // want errflow.unchecked
+}
+
+// drops discards the health signal of the link.
+func drops(conn net.Conn, buf []byte) {
+	conn.Write(buf) // want errflow.unchecked
+	conn.Close()    // want errflow.unchecked
+}
+
+// checked is the compliant shape: handled, deferred, or visibly discarded.
+func checked(conn net.Conn, buf []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err := conn.Write(buf)
+	return err
+}
+
+// discarded documents the decision with a blank assignment.
+func discarded(conn net.Conn) {
+	_ = conn.Close()
+}
+
+// builders never fail: their dropped results carry no signal.
+func builders(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// sink has a Write with no error result; a bare call is fine.
+type sink struct{ n int }
+
+func (s *sink) Write(p []byte) { s.n += len(p) }
+
+func voidWrite(s *sink, p []byte) {
+	s.Write(p)
+}

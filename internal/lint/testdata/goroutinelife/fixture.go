@@ -1,0 +1,81 @@
+package fixture
+
+import "sync"
+
+type pool struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+}
+
+// leak: a free-running goroutine with no shutdown tie outlives its owner.
+func (p *pool) leak() {
+	go func() { // want goroutinelife.leak
+		for v := range p.work {
+			_ = v
+		}
+	}()
+}
+
+// spawnCounted is WaitGroup-paired: Close can wait for it.
+func (p *pool) spawnCounted() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		<-p.work
+	}()
+}
+
+// spawnSelect is tied to the owner's done channel.
+func (p *pool) spawnSelect() {
+	go func() {
+		for {
+			select {
+			case v := <-p.work:
+				_ = v
+			case <-p.done:
+				return
+			}
+		}
+	}()
+}
+
+// spawnMethod resolves the method target through type information; the
+// evidence lives in the callee body.
+func (p *pool) spawnMethod() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+	<-p.done
+}
+
+// spawnBadMethod resolves too, but the callee has no way out.
+func (p *pool) spawnBadMethod() {
+	go p.spin() // want goroutinelife.leak
+}
+
+func (p *pool) spin() {
+	for v := range p.work {
+		_ = v
+	}
+}
+
+// nested evidence does not count: the inner goroutine's done-receive
+// terminates the inner goroutine, not the outer one.
+func (p *pool) nested() {
+	go func() { // want goroutinelife.leak
+		go func() {
+			<-p.done
+		}()
+	}()
+}
+
+// runner's body is invisible: nothing can be proven about it.
+type runner interface{ Run() }
+
+func spawnOpaque(r runner) {
+	go r.Run() // want goroutinelife.opaque
+}

@@ -1,0 +1,72 @@
+package fixture
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+// flushUnderLock is the ack-flush bug shape: a write to a possibly dead
+// peer while holding the lock every other goroutine needs.
+func (s *store) flushUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(s.buf) // want lockheldio.io
+}
+
+// sleepUnderLock stalls every contender for the duration.
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockheldio.io
+	s.mu.Unlock()
+}
+
+// dialUnderLock blocks on the network while holding the lock.
+func (s *store) dialUnderLock(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := net.Dial("tcp", addr) // want lockheldio.io
+	if err != nil {
+		return err
+	}
+	s.conn = c
+	return nil
+}
+
+// flushOutsideLock is the compliant shape the cluster transport uses: grab
+// the pending bytes under the lock, release it, then do the IO.
+func (s *store) flushOutsideLock() error {
+	s.mu.Lock()
+	pending := append([]byte(nil), s.buf...)
+	s.buf = s.buf[:0]
+	s.mu.Unlock()
+	_, err := s.conn.Write(pending)
+	return err
+}
+
+// renderUnderLock writes only to an in-memory builder: not IO.
+func (s *store) renderUnderLock(parts []string) string {
+	var b strings.Builder
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// serializedWrite mirrors the obs logger: the mutex exists only to
+// serialize this one write, and the allow directive says so.
+func (s *store) serializedWrite(line []byte) {
+	s.mu.Lock()
+	//ksetlint:allow lockheldio.io the mutex only serializes this write
+	_, _ = s.conn.Write(line)
+	s.mu.Unlock()
+}

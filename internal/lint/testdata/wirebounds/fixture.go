@@ -1,0 +1,58 @@
+package fixture
+
+import "errors"
+
+var errTruncated = errors.New("truncated")
+
+const maxItems = 1 << 10
+
+// decodeUnchecked sizes the allocation straight from the peer's count: a
+// 2-byte frame can request maxInt elements.
+func decodeUnchecked(buf []byte) []uint16 {
+	n := int(buf[0])
+	out := make([]uint16, n) // want wirebounds.alloc
+	for i := range out {
+		out[i] = uint16(i)
+	}
+	return out
+}
+
+// sliceUnchecked takes bytes without verifying the buffer holds them: a
+// truncated frame panics instead of erroring.
+func sliceUnchecked(buf []byte, off, n int) []byte {
+	return buf[off : off+n] // want wirebounds.slice
+}
+
+// decodeChecked is the codec idiom: reject before allocating.
+func decodeChecked(buf []byte) ([]uint16, error) {
+	n := int(buf[0])
+	if n > maxItems || n*2 > len(buf)-1 {
+		return nil, errTruncated
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = uint16(i)
+	}
+	return out, nil
+}
+
+// sliceChecked bounds-checks before slicing.
+func sliceChecked(buf []byte, off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || len(buf)-off < n {
+		return nil, errTruncated
+	}
+	return buf[off : off+n], nil
+}
+
+// constSized allocations and bounds need no guard.
+func header() []byte {
+	b := make([]byte, 4, 8)
+	return b[:2]
+}
+
+// lenSized allocations derive from data we already hold.
+func mirror(src []byte) []byte {
+	dst := make([]byte, len(src))
+	copy(dst, src)
+	return dst
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireBounds statically enforces the property the wire fuzzers probe
+// dynamically: in internal/wire, no allocation or slice may be sized by
+// peer-supplied input unless that input was bounds-checked first. A decoder
+// that calls make([]T, n) with an unchecked count lets a 5-byte frame
+// request a gigabyte; a slice b[off:off+n] with an unchecked n panics on a
+// truncated frame. Rule ids:
+//
+//   - wirebounds.alloc: a make() sized by a value with no prior bounds
+//     check in the enclosing function.
+//   - wirebounds.slice: a slice expression whose bounds were not previously
+//     checked in the enclosing function.
+//
+// A value counts as checked when it (by printed name, e.g. "n" or "d.off")
+// appears in an if or for condition earlier in the same function — the
+// decoder idiom `if rows*9 > rem { return err }` — or is a constant, a
+// len()/cap() result, or arithmetic over checked values. The analysis is
+// per-function and name-based: decoders in this repo are small and
+// straight-line, and anything it cannot prove checked deserves an explicit
+// guard or an allow directive.
+type WireBounds struct{}
+
+// NewWireBounds returns the wirebounds analyzer.
+func NewWireBounds() *WireBounds { return &WireBounds{} }
+
+// Name implements Analyzer.
+func (*WireBounds) Name() string { return "wirebounds" }
+
+// Rules implements Analyzer.
+func (*WireBounds) Rules() []Rule {
+	return []Rule{
+		{ID: "wirebounds.alloc", Doc: "make() sized by a length with no prior bounds check"},
+		{ID: "wirebounds.slice", Doc: "slice expression with bounds not previously checked"},
+	}
+}
+
+// Check implements Analyzer.
+func (*WireBounds) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &boundsWalker{pkg: pkg, guards: collectGuards(fd.Body)}
+			w.checkBody(fd.Body)
+			out = append(out, w.findings...)
+		}
+	}
+	return out
+}
+
+// guardAtom records one identifier or selector that appeared in a branch
+// condition, keyed by its printed form, at the condition's position.
+type guardAtom struct {
+	name string
+	pos  token.Pos
+}
+
+// collectGuards gathers every ident/selector mentioned in an if or for
+// condition anywhere in the function (including conditions inside nested
+// literals — a guard is a guard).
+func collectGuards(body *ast.BlockStmt) []guardAtom {
+	var atoms []guardAtom
+	addCond := func(cond ast.Expr) {
+		if cond == nil {
+			return
+		}
+		ast.Inspect(cond, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				atoms = append(atoms, guardAtom{name: types.ExprString(n), pos: cond.Pos()})
+				// Also record the nested parts, so a guard on d.off covers
+				// later uses of d.off but a guard mentioning len(d.buf)
+				// covers d.buf too.
+				return true
+			case *ast.Ident:
+				atoms = append(atoms, guardAtom{name: n.Name, pos: cond.Pos()})
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			addCond(s.Cond)
+		case *ast.ForStmt:
+			addCond(s.Cond)
+		case *ast.SwitchStmt:
+			addCond(s.Tag)
+		}
+		return true
+	})
+	return atoms
+}
+
+type boundsWalker struct {
+	pkg      *Package
+	guards   []guardAtom
+	findings []Finding
+}
+
+// guarded reports whether a value with the given printed form was mentioned
+// in a branch condition before pos.
+func (w *boundsWalker) guarded(name string, pos token.Pos) bool {
+	for _, g := range w.guards {
+		if g.name == name && g.pos < pos {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *boundsWalker) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if builtinName(w.pkg, n) == "make" && len(n.Args) >= 2 {
+				for _, size := range n.Args[1:] {
+					if !w.safeSize(size) {
+						w.report(n.Pos(), "wirebounds.alloc",
+							fmt.Sprintf("make sized by %s with no prior bounds check", types.ExprString(size)))
+						break
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+				if bound != nil && !w.safeSize(bound) {
+					w.report(n.Pos(), "wirebounds.slice",
+						fmt.Sprintf("slice bound %s with no prior bounds check", types.ExprString(bound)))
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *boundsWalker) report(pos token.Pos, rule, msg string) {
+	w.findings = append(w.findings, Finding{Pos: w.pkg.Fset.Position(pos), Rule: rule, Msg: msg})
+}
+
+// safeSize reports whether a size or bound expression is provably harmless:
+// constant, derived from len/cap, or built from values that were
+// bounds-checked earlier in the function.
+func (w *boundsWalker) safeSize(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := w.pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true // a typed or untyped constant
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return w.guarded(e.Name, e.Pos())
+	case *ast.SelectorExpr:
+		return w.guarded(types.ExprString(e), e.Pos())
+	case *ast.BinaryExpr:
+		return w.safeSize(e.X) && w.safeSize(e.Y)
+	case *ast.UnaryExpr:
+		return w.safeSize(e.X)
+	case *ast.CallExpr:
+		switch builtinName(w.pkg, e) {
+		case "len", "cap", "min", "max":
+			return true
+		}
+		if isTypeConversion(w.pkg, e) && len(e.Args) == 1 {
+			return w.safeSize(e.Args[0])
+		}
+	}
+	return false
+}

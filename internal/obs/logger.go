@@ -125,7 +125,12 @@ func (l *Logger) log(lv Level, event string, fields []Field) {
 	writeFields(&b, fields)
 	b.WriteByte('\n')
 	l.mu.Lock()
-	io.WriteString(l.w, b.String())
+	// The line is fully rendered before the lock is taken; the mutex exists
+	// solely to serialize this one write so concurrent events never
+	// interleave mid-line. A logger cannot log its own write failure, so the
+	// error is discarded by design.
+	//ksetlint:allow lockheldio.io the mutex guards nothing but this write; serializing it is its entire purpose
+	_, _ = io.WriteString(l.w, b.String())
 	l.mu.Unlock()
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -134,4 +135,35 @@ func (s *safeBuilder) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// failingWriter fails every write while fail is set, then records lines.
+type failingWriter struct {
+	fail bool
+	b    strings.Builder
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.fail {
+		return 0, errTestSink
+	}
+	return w.b.Write(p)
+}
+
+var errTestSink = errors.New("sink down")
+
+// TestLoggerSurvivesWriteFailure pins the by-design error discard on the
+// logger's single IO call: a failing sink must neither panic nor wedge the
+// logger, and later events still reach a recovered sink.
+func TestLoggerSurvivesWriteFailure(t *testing.T) {
+	w := &failingWriter{fail: true}
+	l := NewLogger(w, LevelInfo)
+	l.SetNow(pinnedClock())
+	l.Info("dropped")
+	w.fail = false
+	l.Info("kept")
+	out := w.b.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "event=kept") {
+		t.Errorf("logger output after sink failure = %q", out)
+	}
 }
