@@ -12,7 +12,7 @@ GO ?= go
 BENCH_COUNT ?= 6
 BENCH_PATTERN ?= .
 
-.PHONY: all build lint test race race-live short bench bench-sweep verify replay-corpus regen-corpus fuzz-smoke cluster-smoke figures report clean
+.PHONY: all build lint test race race-live short bench bench-sweep bench-net verify replay-corpus regen-corpus fuzz-smoke cluster-smoke figures report clean
 
 all: build lint test
 
@@ -54,6 +54,16 @@ bench-sweep:
 	$(GO) test -run XXX -bench 'BenchmarkFig2RegionsMPCR|BenchmarkFig4RegionsMPByz|BenchmarkFig5RegionsSMCR|BenchmarkFig6RegionsSMByz|BenchmarkRunFloodMin|BenchmarkRunProtocolE/n=16|BenchmarkSolveEndToEnd|BenchmarkValidateCell|BenchmarkReportRun' -benchmem -count=$(BENCH_COUNT) .
 	$(GO) test -run XXX -bench BenchmarkSweepWorkers -benchmem -count=$(BENCH_COUNT) ./internal/sweep/
 
+# The network-path benchmarks tracked in BENCH_net.json (wire codec, batch
+# frames, link throughput, dedup window, decide latency under load). The
+# soak frames/decision row of the ledger comes from the race soak instead:
+#   go test -race -count=1 -run TestClusterSoak -v ./internal/cluster/
+# BENCH_FLAGS lets CI shrink benchtime for a smoke run.
+BENCH_FLAGS ?= -benchmem -benchtime=0.5s
+bench-net:
+	$(GO) test -run XXX -bench 'BenchmarkWireEncode|BenchmarkWireDecode|BenchmarkBatchRoundTrip' $(BENCH_FLAGS) -count=$(BENCH_COUNT) ./internal/wire/
+	$(GO) test -run XXX -bench 'BenchmarkLinkThroughput|BenchmarkNodeDecideUnderLoad|BenchmarkDedupWindow' $(BENCH_FLAGS) -count=$(BENCH_COUNT) ./internal/cluster/
+
 # Empirical validation of every figure panel plus the impossibility
 # constructions (quick sizes; raise -n/-runs to go deeper).
 verify:
@@ -84,15 +94,28 @@ fuzz-smoke:
 # flapping link, every surviving node's decisions verified by the checker.
 # Then a live single-node daemon: its /healthz and /metrics HTTP endpoints
 # must answer (Prometheus exposition with the kset_ series present).
+# Finally a live two-node daemon pair driven by ksetctl: after a verified
+# instance, /metrics must show the batched transport actually engaged
+# (nonzero batch frames sent and acks piggybacked).
 cluster-smoke:
 	$(GO) test -race -count=1 -run TestClusterSoak -v ./internal/cluster/
 	$(GO) build -o ksetd-smoke ./cmd/ksetd
+	$(GO) build -o ksetctl-smoke ./cmd/ksetctl
 	./ksetd-smoke -id 0 -peers 127.0.0.1:19707 -listen 127.0.0.1:19707 \
 		-metrics 127.0.0.1:19708 -n 1 -k 1 -t 0 -quiet & pid=$$!; \
 	sleep 1; status=0; \
 	curl -fsS http://127.0.0.1:19708/healthz || status=1; \
 	curl -fsS http://127.0.0.1:19708/metrics | grep -q kset_frames_sent_total || status=1; \
-	kill $$pid; rm -f ksetd-smoke; exit $$status
+	kill $$pid; exit $$status
+	./ksetd-smoke -id 0 -peers 127.0.0.1:19711,127.0.0.1:19712 \
+		-metrics 127.0.0.1:19713 -k 1 -t 0 -quiet & pid0=$$!; \
+	./ksetd-smoke -id 1 -peers 127.0.0.1:19711,127.0.0.1:19712 \
+		-quiet & pid1=$$!; \
+	sleep 1; status=0; \
+	./ksetctl-smoke run -peers 127.0.0.1:19711,127.0.0.1:19712 -instances 4 || status=1; \
+	curl -fsS http://127.0.0.1:19713/metrics | grep -E 'kset_batches_sent_total [1-9]' || status=1; \
+	curl -fsS http://127.0.0.1:19713/metrics | grep -E 'kset_acks_piggybacked_total [1-9]' || status=1; \
+	kill $$pid0 $$pid1; rm -f ksetd-smoke ksetctl-smoke; exit $$status
 
 # Regenerate the paper's figures at n=64 into docs/figures/.
 figures:

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"kset/internal/cluster"
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// decideHist is the histogram every node records one sample into per local
+// decision; bench uses its count as the completion signal (the Stats table
+// is clamped at wire.MaxStatsPairs, so per-instance counters cannot track
+// thousands of instances — the histogram can).
+const decideHist = "kset_decide_latency_seconds"
+
+// benchCounters are the transport counters bench reports as deltas. They are
+// node-level stats, emitted ahead of the per-instance block, so the
+// MaxStatsPairs clamp never truncates them.
+var benchCounters = []string{
+	"node.frames_sent", "node.msgs_sent", "node.batches_sent", "node.acks_piggybacked",
+}
+
+// runBench floods the cluster with concurrent consensus instances and reports
+// throughput, decide-latency quantiles, and transport efficiency.
+func runBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ksetctl bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		peers     = fs.String("peers", "", "comma-separated node addresses in id order")
+		loopN     = fs.Int("loopback", 0, "start an in-process n-node loopback cluster to bench against")
+		instances = fs.Int("instances", 1000, "number of concurrent instances to drive")
+		workers   = fs.Int("workers", 16, "parallel start submitters")
+		first     = fs.Uint64("first", 1, "id of the first instance")
+		k         = fs.Int("k", 1, "agreement bound")
+		t         = fs.Int("t", 0, "failure bound")
+		protocol  = fs.String("protocol", "floodmin", "protocol to run")
+		seed      = fs.Uint64("seed", 1, "loopback cluster seed")
+		timeout   = fs.Duration("timeout", 120*time.Second, "deadline for every node to decide every instance")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*peers == "") == (*loopN == 0) {
+		return fmt.Errorf("exactly one of -peers or -loopback is required")
+	}
+	if *instances < 1 || *workers < 1 {
+		return fmt.Errorf("-instances %d -workers %d: need at least 1 of each", *instances, *workers)
+	}
+	proto, err := cluster.ParseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+
+	addrs := splitAddrs(*peers)
+	if *loopN > 0 {
+		lb, err := cluster.StartLoopback(cluster.LoopbackConfig{
+			N: *loopN, K: *k, T: *t, Seed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("start loopback cluster: %w", err)
+		}
+		defer lb.Close()
+		addrs = lb.Addrs
+		fmt.Fprintf(out, "loopback cluster: %d nodes\n", *loopN)
+	}
+	n := len(addrs)
+	if n == 0 {
+		return fmt.Errorf("no node addresses")
+	}
+
+	// One monitoring client per node, used for the baseline snapshot, the
+	// completion poll, and the final report.
+	mon, err := dialAll(addrs, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer closeAll(mon)
+	baseDecided, baseStats, err := snapshot(mon)
+	if err != nil {
+		return err
+	}
+
+	// Submit phase: workers split the id range, each with its own control
+	// connections (a Client is strict request-reply and must not be shared).
+	// Start blocks on the node's ack, so submission is naturally paced by
+	// control-plane round trips while the instances themselves all run
+	// concurrently on the cluster.
+	if *workers > *instances {
+		*workers = *instances
+	}
+	started := time.Now()
+	errs := make(chan error, *workers)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		lo := *first + uint64(w*(*instances)/(*workers))
+		hi := *first + uint64((w+1)*(*instances)/(*workers))
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			errs <- submitRange(addrs, lo, hi, *k, *t, proto)
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	submitElapsed := time.Since(started)
+
+	// Completion: every node's decide histogram must grow by one sample per
+	// instance (each node decides each instance locally exactly once).
+	deadline := time.Now().Add(*timeout)
+	want := int64(*instances)
+	for {
+		counts, err := decideCounts(mon)
+		if err != nil {
+			return err
+		}
+		done := true
+		slowest := int64(want)
+		for i := range counts {
+			d := counts[i] - baseDecided[i]
+			if d < want {
+				done = false
+			}
+			if d < slowest {
+				slowest = d
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: slowest node at %d/%d decisions at deadline", slowest, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	elapsed := time.Since(started)
+
+	// Report. The latency histograms are cumulative, so quantiles include any
+	// decisions recorded before the bench; against a fresh cluster (the
+	// loopback mode, or a just-started deployment) the baseline is zero.
+	var hists []wire.Hist
+	prior := int64(0)
+	for i, c := range mon {
+		m, err := c.Metrics()
+		if err != nil {
+			return fmt.Errorf("metrics from node %d: %w", i, err)
+		}
+		for _, h := range m.Hists {
+			if h.Name == decideHist {
+				hists = append(hists, h)
+			}
+		}
+		prior += baseDecided[i]
+	}
+	merged := wire.MergeHists(hists)
+	totalDecisions := int64(*instances) * int64(n)
+
+	fmt.Fprintf(out, "bench: %d instances x %d nodes, %s, k=%d t=%d, %d workers\n",
+		*instances, n, *protocol, *k, *t, *workers)
+	fmt.Fprintf(out, "submitted in %v, all decided in %v\n",
+		submitElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "throughput: %.1f instances/s (%.1f local decisions/s)\n",
+		float64(*instances)/elapsed.Seconds(), float64(totalDecisions)/elapsed.Seconds())
+	if merged.Count > 0 {
+		fmt.Fprintf(out, "decide latency (%d samples", merged.Count)
+		if prior > 0 {
+			fmt.Fprintf(out, ", %d predate the bench", prior)
+		}
+		fmt.Fprintf(out, "): p50 %s  p95 %s  p99 %s  max %s\n",
+			usDuration(merged.Quantile(0.50)), usDuration(merged.Quantile(0.95)),
+			usDuration(merged.Quantile(0.99)), usDuration(float64(merged.MaxMicros)))
+	}
+
+	curStats, err := statSnapshots(mon)
+	if err != nil {
+		return err
+	}
+	deltas := make(map[string]int64, len(benchCounters))
+	for _, name := range benchCounters {
+		for i := range curStats {
+			deltas[name] += curStats[i][name] - baseStats[i][name]
+		}
+	}
+	fmt.Fprintf(out, "transport: %d frames, %d msgs, %d batch frames, %d acks piggybacked\n",
+		deltas["node.frames_sent"], deltas["node.msgs_sent"],
+		deltas["node.batches_sent"], deltas["node.acks_piggybacked"])
+	if frames := deltas["node.frames_sent"]; frames > 0 {
+		fmt.Fprintf(out, "transport: %.2f frames/decision, %.2f msgs/frame\n",
+			float64(frames)/float64(totalDecisions),
+			float64(deltas["node.msgs_sent"])/float64(frames))
+	}
+	return nil
+}
+
+// submitRange starts instances [lo, hi) on every node over this worker's own
+// control connections.
+func submitRange(addrs []string, lo, hi uint64, k, t int, proto theory.ProtocolID) error {
+	clients, err := dialAll(addrs, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer closeAll(clients)
+	for id := lo; id < hi; id++ {
+		for i, c := range clients {
+			err := c.Start(wire.Start{
+				Instance: id, K: k, T: t, Proto: uint8(proto),
+				// Distinct inputs per node, derived from the id, so FloodMin
+				// has real disagreement to resolve on every instance.
+				Input: types.Value(int(id)*100 + i + 1),
+			})
+			if err != nil {
+				return fmt.Errorf("start instance %d on node %d: %w", id, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// snapshot captures the per-node decide count and transport counters before
+// the load starts, so the report is a delta even on a long-lived cluster.
+func snapshot(mon []*cluster.Client) ([]int64, []map[string]int64, error) {
+	decided, err := decideCounts(mon)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := statSnapshots(mon)
+	if err != nil {
+		return nil, nil, err
+	}
+	return decided, stats, nil
+}
+
+// decideCounts pulls each node's cumulative local-decision count from its
+// decide-latency histogram.
+func decideCounts(mon []*cluster.Client) ([]int64, error) {
+	counts := make([]int64, len(mon))
+	for i, c := range mon {
+		m, err := c.Metrics()
+		if err != nil {
+			return nil, fmt.Errorf("metrics from node %d: %w", i, err)
+		}
+		for _, h := range m.Hists {
+			if h.Name == decideHist {
+				counts[i] = int64(h.Count)
+				break
+			}
+		}
+	}
+	return counts, nil
+}
+
+func statSnapshots(mon []*cluster.Client) ([]map[string]int64, error) {
+	out := make([]map[string]int64, len(mon))
+	for i, c := range mon {
+		pairs, err := c.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("stats from node %d: %w", i, err)
+		}
+		out[i] = statMap(pairs)
+	}
+	return out, nil
+}

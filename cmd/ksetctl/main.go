@@ -9,9 +9,14 @@
 //	        -instances 8 -k 2 -t 1 -protocol floodmin -validity rv1
 //	ksetctl run -peers ... -instances 1 -inputs 4,7,2
 //	ksetctl stats -peers host0:7000,host1:7000,host2:7000
+//	ksetctl bench -loopback 3 -instances 5000 -workers 16
 //
 // run exits non-zero if any node's decision table fails the checker; the
-// cluster is the system under test and ksetctl is the judge.
+// cluster is the system under test and ksetctl is the judge. bench is the
+// load generator: it floods a cluster (a live one via -peers, or an
+// in-process loopback cluster via -loopback) with concurrent instances and
+// reports decisions/sec, decide-latency quantiles, and the transport's
+// frames-per-decision ratio.
 package main
 
 import (
@@ -39,15 +44,17 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ksetctl <run|stats> -peers ... [flags]")
+		return fmt.Errorf("usage: ksetctl <run|stats|bench> -peers ... [flags]")
 	}
 	switch args[0] {
 	case "run":
 		return runInstances(args[1:], out)
 	case "stats":
 		return runStats(args[1:], out)
+	case "bench":
+		return runBench(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run or stats)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, stats, or bench)", args[0])
 	}
 }
 

@@ -149,3 +149,66 @@ func TestBadUsage(t *testing.T) {
 		}
 	}
 }
+
+// TestBench drives the load generator end to end against both a caller-owned
+// cluster (-peers) and its self-hosted loopback mode.
+func TestBench(t *testing.T) {
+	lb := startCluster(t, 15)
+	var out strings.Builder
+	err := run([]string{
+		"bench",
+		"-peers", strings.Join(lb.Addrs, ","),
+		"-instances", "50",
+		"-workers", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("bench: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"bench: 50 instances x 3 nodes, floodmin",
+		"throughput:",
+		"decide latency (150 samples): p50 ",
+		"frames/decision",
+		"acks piggybacked",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bench output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBenchLoopback(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"bench", "-loopback", "2", "-instances", "50", "-workers", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("bench -loopback: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"loopback cluster: 2 nodes",
+		"bench: 50 instances x 2 nodes, floodmin",
+		"decide latency (100 samples): p50 ",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bench output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBenchBadUsage(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{"bench"}, // neither -peers nor -loopback
+		{"bench", "-peers", "a,b", "-loopback", "2"}, // both
+		{"bench", "-loopback", "2", "-instances", "0"},
+		{"bench", "-loopback", "2", "-protocol", "heisenbyzzz"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -78,6 +78,7 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- ready
 		dup      = fs.Float64("dup", 0, "probability a transmission attempt is duplicated")
 		delay    = fs.Float64("delay", 0, "probability a transmission attempt is delayed")
 		maxDelay = fs.Duration("max-delay", 20*time.Millisecond, "upper bound on injected delays")
+		wireVer  = fs.Int("wire-version", 0, "wire protocol version: 0 (default, batched) or 1 (legacy single-message frames)")
 		quiet    = fs.Bool("quiet", false, "suppress diagnostics")
 		metrics  = fs.String("metrics", "", "HTTP address serving /metrics and /healthz (empty: disabled)")
 		logLevel = fs.String("log-level", "info", "structured event log threshold: debug, info, warn, error")
@@ -124,6 +125,7 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- ready
 		DefaultProto: proto,
 		DefaultEll:   defaultEll,
 		Seed:         *seed,
+		WireVersion:  *wireVer,
 		Faults: cluster.Faults{
 			Drop:     *drop,
 			Dup:      *dup,

@@ -29,7 +29,8 @@ func TestBadModule(t *testing.T) {
 		"internal/mpnet/mpnet.go:12:37: determinism.time",
 		"internal/mpnet/mpnet.go:18:2: maporder.range",
 		"internal/wire/wire.go:8:9: wirebounds.alloc",
-		"ksetlint: 10 finding(s)",
+		"internal/wire/wire.go:17:14: wirebounds.loop",
+		"ksetlint: 11 finding(s)",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
@@ -48,7 +49,7 @@ func TestRuleFilter(t *testing.T) {
 		{"errflow", 2},
 		{"goroutinelife", 1},
 		{"lockheldio", 1},
-		{"wirebounds", 1},
+		{"wirebounds", 2},
 		{"errflow.unchecked", 2},
 	} {
 		var out, errs strings.Builder
@@ -92,8 +93,8 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
 		t.Fatalf("-json emitted invalid JSON: %v\n%s", err, out.String())
 	}
-	if rep.Count != 10 || len(rep.Findings) != 10 {
-		t.Fatalf("count = %d, findings = %d, want 10/10", rep.Count, len(rep.Findings))
+	if rep.Count != 11 || len(rep.Findings) != 11 {
+		t.Fatalf("count = %d, findings = %d, want 11/11", rep.Count, len(rep.Findings))
 	}
 	first := rep.Findings[0]
 	if first.File != "internal/cluster/cluster.go" || first.Rule != "errflow.unchecked" {
@@ -135,14 +136,14 @@ func TestSARIFOutput(t *testing.T) {
 	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "ksetlint" {
 		t.Fatalf("unexpected SARIF header: %s", raw[:120])
 	}
-	if got := len(log.Runs[0].Results); got != 10 {
-		t.Errorf("SARIF results = %d, want 10", got)
+	if got := len(log.Runs[0].Results); got != 11 {
+		t.Errorf("SARIF results = %d, want 11", got)
 	}
 	rules := make(map[string]bool)
 	for _, r := range log.Runs[0].Tool.Driver.Rules {
 		rules[r.ID] = true
 	}
-	for _, id := range []string{"errflow.unchecked", "goroutinelife.leak", "lockheldio.io", "wirebounds.alloc", "lint.allow"} {
+	for _, id := range []string{"errflow.unchecked", "goroutinelife.leak", "lockheldio.io", "wirebounds.alloc", "wirebounds.loop", "lint.allow"} {
 		if !rules[id] {
 			t.Errorf("SARIF rule table missing %q", id)
 		}
@@ -202,6 +203,7 @@ func TestList(t *testing.T) {
 		"goroutinelife.leak: go statement with no provable shutdown path",
 		"lockheldio.io: blocking IO call",
 		"wirebounds.alloc: make() sized by a length",
+		"wirebounds.loop: for loop bounded by a count",
 		"lint.allow:",
 	} {
 		if !strings.Contains(got, r) {

@@ -9,3 +9,13 @@ func DecodeList(buf []byte) []byte {
 	copy(out, buf[1:])
 	return out
 }
+
+// ReadList loops on the frame's count byte without examining it first.
+func ReadList(buf []byte) int {
+	n := int(buf[1])
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum++
+	}
+	return sum
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// benchWave bounds how many frames or instances are in flight at once in the
+// transport benchmarks: it keeps the unacked queue (and the ack search it
+// implies) at a realistic steady-state depth instead of growing with b.N.
+const benchWave = 1024
+
+// BenchmarkLinkThroughput measures raw transport throughput: protocol
+// messages enqueued on one link of a two-node loopback cluster until the
+// receiving node has counted them all. ns/op is the per-message pipeline
+// cost including encode, framing, the syscall path, receive, dedup, and
+// delivery fan-out.
+func BenchmarkLinkThroughput(b *testing.B) {
+	lb, err := StartLoopback(LoopbackConfig{N: 2, K: 1, T: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lb.Close()
+	// The receiver hosts a trivial-protocol instance (decides instantly,
+	// ignores deliveries) so inbound frames are delivered, not buffered.
+	for i, node := range lb.Nodes {
+		err := node.StartInstance(wire.Start{
+			Instance: 1, K: 1, T: 0, Proto: uint8(theory.ProtoTrivial), Input: types.Value(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	recv := lb.Nodes[1]
+	for deadline := time.Now().Add(10 * time.Second); recv.lookup(1) == nil; {
+		if time.Now().After(deadline) {
+			b.Fatal("receiver instance did not start")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	link := lb.Nodes[0].links[1]
+	payload := types.Payload{Kind: types.KindEcho, Value: 7, Origin: 0}
+
+	base := recv.stats.msgsRecv.Value()
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := 0
+	for sent < b.N {
+		wave := benchWave
+		if rem := b.N - sent; rem < wave {
+			wave = rem
+		}
+		for i := 0; i < wave; i++ {
+			link.enqueue(wire.BatchMsg{Kind: wire.TypeProto, Instance: 1, From: 0, Payload: payload})
+		}
+		sent += wave
+		deadline := time.Now().Add(30 * time.Second)
+		for recv.stats.msgsRecv.Value()-base < int64(sent) {
+			if time.Now().After(deadline) {
+				b.Fatalf("receiver saw %d of %d messages at deadline",
+					recv.stats.msgsRecv.Value()-base, sent)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	if fSent := lb.Nodes[0].stats.framesSent.Value(); fSent > 0 {
+		b.ReportMetric(float64(sent)/float64(fSent), "msgs/frame")
+	}
+}
+
+// BenchmarkNodeDecideUnderLoad measures decide latency under concurrent
+// load: waves of FloodMin instances driven to local decision on every node
+// of a three-node loopback cluster. ns/op is the per-instance cost of a
+// full start-to-decide cycle at benchWave-instance concurrency.
+func BenchmarkNodeDecideUnderLoad(b *testing.B) {
+	const wave = 256
+	lb, err := StartLoopback(LoopbackConfig{N: 3, K: 1, T: 0, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lb.Close()
+
+	decidedOn := func(node *Node) int64 {
+		return int64(node.stats.decideLatency.Snapshot("x").Count)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	next := uint64(1)
+	done := 0
+	for done < b.N {
+		batch := wave
+		if rem := b.N - done; rem < batch {
+			batch = rem
+		}
+		for i := 0; i < batch; i++ {
+			id := next
+			next++
+			for nd, node := range lb.Nodes {
+				err := node.StartInstance(wire.Start{
+					Instance: id, K: 1, T: 0,
+					Proto: uint8(theory.ProtoFloodMin),
+					Input: types.Value(int(id)*10 + nd),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		done += batch
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			all := true
+			for _, node := range lb.Nodes {
+				if decidedOn(node) < int64(done) {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("only %d/%d decided at deadline", decidedOn(lb.Nodes[0]), done)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// BenchmarkDedupWindow measures the per-frame cost of the receive-side
+// duplicate-suppression state under out-of-order arrival: frames from one
+// peer arrive shuffled within a reorder horizon, as retransmission and
+// injected delays produce in practice.
+func BenchmarkDedupWindow(b *testing.B) {
+	for _, reorder := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("reorder=%d", reorder), func(b *testing.B) {
+			n, err := NewNode(Config{
+				ID: 0, N: 2, K: 1, T: 0,
+				Peers: []string{"127.0.0.1:1", "127.0.0.1:2"},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close()
+			err = n.StartInstance(wire.Start{
+				Instance: 1, K: 1, T: 0, Proto: uint8(theory.ProtoTrivial), Input: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			msg := wire.BatchMsg{Kind: wire.TypeProto, Instance: 1, From: 1,
+				Payload: types.Payload{Kind: types.KindInput, Value: 5}}
+			// Deterministic reorder: deliver each block of `reorder` seqs
+			// back to front — every frame arrives, maximally displaced
+			// within the horizon.
+			b.ReportAllocs()
+			b.ResetTimer()
+			delivered := 0
+			for delivered < b.N {
+				block := reorder
+				if rem := b.N - delivered; rem < block {
+					block = rem
+				}
+				for i := block; i >= 1; i-- {
+					seq := uint64(delivered + i)
+					if _, accepted := n.placeFrame(1, seq, msg); !accepted {
+						b.Fatalf("seq %d rejected", seq)
+					}
+				}
+				delivered += block
+			}
+		})
+	}
+}

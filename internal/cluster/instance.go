@@ -17,8 +17,10 @@ import (
 
 // inboxDepth buffers deliveries between the connection readers and the
 // instance goroutine. A full inbox stalls the reader (backpressure), never a
-// lock holder, so no deadlock cycle can form.
-const inboxDepth = 1024
+// lock holder, so no deadlock cycle can form. The depth is sized for
+// thousands of concurrent instances per node (ksetctl bench): 256 slots is
+// ~4 KiB per instance, and the retransmit layer rides out any stall.
+const inboxDepth = 256
 
 // instance is one running consensus instance: an mpnet.Protocol driven by
 // network deliveries instead of a simulated schedule. Exactly one goroutine
@@ -74,18 +76,18 @@ func newInstance(n *Node, id uint64, k, t int, proto theory.ProtocolID, ell int,
 	}, nil
 }
 
-// deliverWire routes one accepted peer frame for this instance: protocol
+// deliver routes one accepted peer message for this instance: protocol
 // messages go through the inbox to the instance goroutine; decide
 // announcements update the decision table directly.
-func (in *instance) deliverWire(m wire.Msg) {
-	switch v := m.(type) {
-	case wire.Proto:
+func (in *instance) deliver(bm wire.BatchMsg) {
+	switch bm.Kind {
+	case wire.TypeProto:
 		select {
-		case in.inbox <- delivery{from: v.From, payload: v.Payload}:
+		case in.inbox <- delivery{from: bm.From, payload: bm.Payload}:
 		case <-in.node.done:
 		}
-	case wire.Decide:
-		in.recordDecision(v.Node, v.Value)
+	case wire.TypeDecide:
+		in.recordDecision(bm.From, bm.Value)
 	}
 }
 
@@ -123,7 +125,7 @@ func (in *instance) observeTableLocked() {
 // run is the instance goroutine: start the protocol, then deliver inbox
 // messages until the node shuts down. Self-sends queued during a handler are
 // drained before the next network delivery, mirroring mpnet's runtime.
-func (in *instance) run(backlog []wire.Msg) {
+func (in *instance) run(backlog []wire.BatchMsg) {
 	defer in.node.wg.Done()
 	api := &instanceAPI{in: in}
 	in.proto.Start(api)
@@ -143,17 +145,17 @@ func (in *instance) run(backlog []wire.Msg) {
 	}
 }
 
-// deliverBacklog replays one frame that was buffered before the instance
-// started locally. Buffered frames never passed through deliverWire, so both
+// deliverBacklog replays one message that was buffered before the instance
+// started locally. Buffered messages never passed through deliver, so both
 // protocol messages and decide announcements are applied here.
-func (in *instance) deliverBacklog(api *instanceAPI, m wire.Msg) {
-	switch v := m.(type) {
-	case wire.Proto:
+func (in *instance) deliverBacklog(api *instanceAPI, bm wire.BatchMsg) {
+	switch bm.Kind {
+	case wire.TypeProto:
 		in.recv.Add(1)
-		in.proto.Deliver(api, v.From, v.Payload)
+		in.proto.Deliver(api, bm.From, bm.Payload)
 		in.drainSelf(api)
-	case wire.Decide:
-		in.recordDecision(v.Node, v.Value)
+	case wire.TypeDecide:
+		in.recordDecision(bm.From, bm.Value)
 	}
 }
 
@@ -232,7 +234,9 @@ func (a *instanceAPI) Send(to types.ProcessID, p types.Payload) {
 	}
 	if l := in.node.links[to]; l != nil {
 		in.sent.Add(1)
-		l.enqueue(wire.Proto{Instance: in.id, From: in.node.cfg.ID, Payload: p})
+		l.enqueue(wire.BatchMsg{
+			Kind: wire.TypeProto, Instance: in.id, From: in.node.cfg.ID, Payload: p,
+		})
 	}
 }
 
@@ -265,7 +269,9 @@ func (a *instanceAPI) Decide(v types.Value) {
 	in.node.log.Info("decided",
 		obs.F("instance", in.id), obs.F("value", int64(v)),
 		obs.F("latency_us", elapsed.Microseconds()))
-	in.node.broadcastPeers(wire.Decide{Instance: in.id, Node: in.node.cfg.ID, Value: v})
+	in.node.broadcastPeers(wire.BatchMsg{
+		Kind: wire.TypeDecide, Instance: in.id, From: in.node.cfg.ID, Value: v,
+	})
 }
 
 // HasDecided reports whether Decide has been called.

@@ -35,6 +35,13 @@ type link struct {
 	down    bool           // partitioned: hold all traffic
 	closed  bool
 
+	// ackScratch and sendScratch recycle flush's working slices: each round
+	// swaps the drained ack list against ackScratch and collects due frames
+	// into sendScratch, so a steady-state flush allocates nothing. Both are
+	// touched only with mu held or by the writer goroutine between flushes.
+	ackScratch  []uint64
+	sendScratch []wire.BatchMsg
+
 	// wake signals the writer that there is new work (capacity 1).
 	wake chan struct{}
 
@@ -52,10 +59,12 @@ type link struct {
 	mBackoff      *obs.Histogram
 }
 
-// pendingFrame is one sequenced frame awaiting acknowledgment.
+// pendingFrame is one sequenced message awaiting acknowledgment. The message
+// is stored as the flat wire.BatchMsg union, so queueing and flushing move
+// plain structs with no per-message boxing.
 type pendingFrame struct {
 	seq uint64
-	msg wire.Msg
+	msg wire.BatchMsg
 	// lastAttempt is the time of the last transmission attempt (zero:
 	// never attempted); retransmission is due when it is older than the
 	// retransmit interval.
@@ -83,25 +92,17 @@ func newLink(n *Node, peer types.ProcessID, addr string) *link {
 	}
 }
 
-// enqueue assigns the next sequence number to m (a Proto or Decide frame)
+// enqueue assigns the next sequence number to bm (a proto or decide message)
 // and queues it for reliable delivery.
-func (l *link) enqueue(m wire.Msg) {
+func (l *link) enqueue(bm wire.BatchMsg) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return
 	}
 	l.nextSeq++
-	seq := l.nextSeq
-	switch v := m.(type) {
-	case wire.Proto:
-		v.Seq = seq
-		m = v
-	case wire.Decide:
-		v.Seq = seq
-		m = v
-	}
-	l.queue = append(l.queue, pendingFrame{seq: seq, msg: m})
+	bm.Seq = l.nextSeq
+	l.queue = append(l.queue, pendingFrame{seq: bm.Seq, msg: bm})
 	l.mu.Unlock()
 	l.signal()
 }
@@ -125,13 +126,33 @@ func (l *link) enqueueAck(seq uint64) {
 func (l *link) ack(seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ackLocked(seq)
+}
+
+// ackBatch removes every frame confirmed by one batch's piggybacked ack
+// vector under a single lock acquisition.
+func (l *link) ackBatch(seqs []uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seq := range seqs {
+		l.ackLocked(seq)
+	}
+}
+
+func (l *link) ackLocked(seq uint64) {
 	for i := range l.queue {
 		if l.queue[i].seq == seq {
 			if first := l.queue[i].firstSent; !first.IsZero() {
 				l.node.stats.ackRTT.Observe(time.Since(first).Seconds())
 			}
-			l.queue = append(l.queue[:i], l.queue[i+1:]...)
-			break
+			// Acks overwhelmingly confirm the queue head in order; popping
+			// the front is O(1) and only an out-of-order ack pays the copy.
+			if i == 0 {
+				l.queue = l.queue[1:]
+			} else {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			}
+			return
 		}
 	}
 }
@@ -200,9 +221,25 @@ func (l *link) isClosed() bool {
 	return l.closed
 }
 
-// flush performs one round of work: send pending acks, transmit new or
-// retransmission-due frames (each attempt rolled through the fault
-// injector), all outside the lock.
+// encBufs pools batch-encode buffers across all links: flush borrows one,
+// encodes the whole round's frames into it, and returns it, so steady-state
+// batch encoding allocates nothing.
+var encBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// batchMsgsPerFrame caps how many messages one batch frame coalesces. Well
+// below wire.MaxBatchMsgs: it keeps a frame around 36 KiB so a slow reader
+// sees bounded frame latency, while still amortizing the write syscall over
+// a thousand messages.
+const batchMsgsPerFrame = 1024
+
+// flush performs one round of work: drain pending acks and transmission-due
+// frames under the lock (each attempt rolled through the fault injector),
+// then write them outside it — as coalesced batch frames with the acks
+// piggybacked when the peer speaks wire.VersionBatch, or as legacy
+// single-message frames otherwise.
 func (l *link) flush() {
 	now := time.Now()
 	l.mu.Lock()
@@ -210,9 +247,13 @@ func (l *link) flush() {
 		l.mu.Unlock()
 		return
 	}
+	// Swap the ack list against the recycled scratch slice: the drained
+	// array is handed back as next round's l.acks once this round's writes
+	// are done (only this goroutine flushes, so the handoff cannot race).
 	acks := l.acks
-	l.acks = nil
-	var sends []wire.Msg
+	l.acks = l.ackScratch[:0]
+	l.ackScratch = acks
+	sends := l.sendScratch[:0]
 	for i := range l.queue {
 		p := &l.queue[i]
 		if now.Before(p.notBefore) {
@@ -252,6 +293,7 @@ func (l *link) flush() {
 			sends = append(sends, p.msg)
 		}
 	}
+	l.sendScratch = sends
 	l.mu.Unlock()
 
 	if len(acks) == 0 && len(sends) == 0 {
@@ -266,16 +308,10 @@ func (l *link) flush() {
 		l.requeueAcks(acks)
 		return
 	}
-	for i, seq := range acks {
-		if !l.write(wire.Ack{Seq: seq}) {
-			l.requeueAcks(acks[i:])
-			return
-		}
-	}
-	for _, m := range sends {
-		if l.write(m) {
-			l.node.stats.framesSent.Add(1)
-		}
+	if l.peerBatches() {
+		l.flushBatch(acks, sends)
+	} else {
+		l.flushV1(acks, sends)
 	}
 	if l.bw != nil {
 		if l.conn != nil {
@@ -287,6 +323,75 @@ func (l *link) flush() {
 		if err := l.bw.Flush(); err != nil {
 			l.connFailed()
 		}
+	}
+}
+
+// peerBatches reports whether this link may send batch frames: both this
+// node's configured wire version and the version the peer announced in its
+// most recent Hello must be at least wire.VersionBatch. Until the peer's
+// Hello is heard, the link conservatively speaks v1.
+func (l *link) peerBatches() bool {
+	return l.node.cfg.WireVersion >= wire.VersionBatch &&
+		l.node.peerVer[l.peer].Load() >= wire.VersionBatch
+}
+
+// flushBatch writes one round as coalesced batch frames: the ack vector is
+// piggybacked on the first frame, and messages are chunked so each frame
+// stays small. The encode buffer is pooled, so the whole path is
+// allocation-free in steady state.
+func (l *link) flushBatch(acks []uint64, sends []wire.BatchMsg) {
+	bufp := encBufs.Get().(*[]byte)
+	defer encBufs.Put(bufp)
+	for len(acks) > 0 || len(sends) > 0 {
+		ackChunk := acks
+		if len(ackChunk) > wire.MaxBatchAcks {
+			ackChunk = ackChunk[:wire.MaxBatchAcks]
+		}
+		msgChunk := sends
+		if len(msgChunk) > batchMsgsPerFrame {
+			msgChunk = msgChunk[:batchMsgsPerFrame]
+		}
+		frame, err := wire.AppendBatchFrame((*bufp)[:0], ackChunk, msgChunk)
+		if err != nil {
+			// Encoding is pure: this cannot happen for messages the enqueue
+			// path accepts. Requeue the acks and let the frames retransmit.
+			l.node.logf("cluster: encode batch to peer %v: %v", l.peer, err)
+			l.requeueAcks(acks)
+			return
+		}
+		*bufp = frame[:0]
+		if !l.writeFrame(frame) {
+			l.requeueAcks(acks)
+			return
+		}
+		l.node.stats.framesSent.Add(1)
+		l.node.stats.batchesSent.Add(1)
+		l.node.stats.msgsSent.Add(int64(len(msgChunk)))
+		l.node.stats.acksPiggybacked.Add(int64(len(ackChunk)))
+		acks = acks[len(ackChunk):]
+		sends = sends[len(msgChunk):]
+	}
+}
+
+// flushV1 writes one round as legacy single-message frames for a peer that
+// has not announced batch support. The first failed write tears the
+// connection down and ends the round immediately: everything unsent stays
+// queued (or is requeued, for acks) instead of burning one doomed write
+// attempt per remaining frame.
+func (l *link) flushV1(acks []uint64, sends []wire.BatchMsg) {
+	for i, seq := range acks {
+		if !l.write(wire.Ack{Seq: seq}) {
+			l.requeueAcks(acks[i:])
+			return
+		}
+		l.node.stats.framesSent.Add(1)
+	}
+	for i := range sends {
+		if !l.write(sends[i].Msg()) {
+			return
+		}
+		l.node.stats.framesSent.Add(1)
+		l.node.stats.msgsSent.Add(1)
 	}
 }
 
@@ -347,10 +452,11 @@ func (l *link) ensureConn() bool {
 	l.node.stats.connects.Add(1)
 	l.node.log.Debug("dialed peer", obs.F("peer", int(l.peer)), obs.F("addr", l.addr))
 	hello := wire.Hello{
-		From:    l.node.cfg.ID,
-		Role:    wire.RolePeer,
-		N:       l.node.cfg.N,
-		Session: l.node.session,
+		From:       l.node.cfg.ID,
+		Role:       wire.RolePeer,
+		N:          l.node.cfg.N,
+		Session:    l.node.session,
+		MaxVersion: uint8(l.node.cfg.WireVersion),
 	}
 	if !l.write(hello) {
 		return false
@@ -370,6 +476,23 @@ func (l *link) write(m wire.Msg) bool {
 		return false
 	}
 	if err := wire.WriteMsg(l.bw, m); err != nil {
+		l.connFailed()
+		return false
+	}
+	return true
+}
+
+// writeFrame hands one pre-encoded frame (length prefix included) to the
+// buffered writer under the write deadline. Failure handling matches write.
+func (l *link) writeFrame(frame []byte) bool {
+	if l.conn == nil {
+		return false
+	}
+	if err := l.conn.SetWriteDeadline(time.Now().Add(l.node.cfg.WriteTimeout)); err != nil {
+		l.connFailed()
+		return false
+	}
+	if _, err := l.bw.Write(frame); err != nil {
 		l.connFailed()
 		return false
 	}

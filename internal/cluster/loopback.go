@@ -29,6 +29,10 @@ type LoopbackConfig struct {
 	Faults       Faults
 	Retransmit   time.Duration
 	Logf         func(format string, args ...any)
+	// WireVersions, if non-nil, sets each node's Config.WireVersion — the
+	// mixed-version interop tests run v1-only and batching nodes in one
+	// cluster with it. nil leaves every node on the default.
+	WireVersions []int
 }
 
 // StartLoopback binds n listeners on 127.0.0.1:0 (so the port numbers are
@@ -51,8 +55,18 @@ func StartLoopback(cfg LoopbackConfig) (*Loopback, error) {
 		listeners[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
+	if cfg.WireVersions != nil && len(cfg.WireVersions) != cfg.N {
+		for _, l := range listeners {
+			_ = l.Close()
+		}
+		return nil, fmt.Errorf("%w: %d wire versions for n=%d", ErrBadConfig, len(cfg.WireVersions), cfg.N)
+	}
 	lb := &Loopback{Addrs: addrs, Nodes: make([]*Node, cfg.N)}
 	for i := range lb.Nodes {
+		wv := 0
+		if cfg.WireVersions != nil {
+			wv = cfg.WireVersions[i]
+		}
 		node, err := NewNode(Config{
 			ID:           types.ProcessID(i),
 			N:            cfg.N,
@@ -64,6 +78,7 @@ func StartLoopback(cfg LoopbackConfig) (*Loopback, error) {
 			Seed:         cfg.Seed,
 			Faults:       cfg.Faults,
 			Retransmit:   cfg.Retransmit,
+			WireVersion:  wv,
 			Logf:         cfg.Logf,
 		})
 		if err != nil {

@@ -25,6 +25,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kset/internal/obs"
@@ -66,6 +67,11 @@ type Config struct {
 	DialTimeout  time.Duration
 	WriteTimeout time.Duration
 	Retransmit   time.Duration
+	// WireVersion selects the transport framing offered to peers: zero or
+	// wire.VersionBatch enables coalesced batch frames (used per peer only
+	// after that peer's Hello advertises the same), wire.Version forces
+	// legacy single-message frames. Any other value is rejected.
+	WireVersion int
 	// Logf, if non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
 	// Log, if non-nil, receives structured transport events (dials,
@@ -90,10 +96,15 @@ type Node struct {
 	mu        sync.Mutex
 	instances map[uint64]*instance
 	order     []uint64 // instance ids in creation order
-	pending   map[uint64][]wire.Msg
+	pending   map[uint64][]wire.BatchMsg
 	seen      []peerSeen // per-peer duplicate suppression
 	conns     []net.Conn // accepted connections, for shutdown
 	closed    bool
+
+	// peerVer[i] is the highest wire version peer i advertised in its most
+	// recent Hello (0 until heard). Links read it lock-free on every flush to
+	// decide between batch and legacy framing.
+	peerVer []atomic.Int32
 
 	reg   *obs.Registry
 	log   *obs.Logger
@@ -102,28 +113,65 @@ type Node struct {
 	wg    sync.WaitGroup
 }
 
+// dedupWindow bounds how far above the contiguous watermark a peer's
+// sequence numbers are accepted: seqs in (contig, contig+dedupWindow] are
+// tracked in a fixed bitset ring, anything beyond is dropped unacknowledged
+// (the peer retransmits until the window slides up). The window caps the
+// dedup state per peer at dedupWindow/8 bytes regardless of peer behavior
+// and keeps the accept path allocation-free; it must be a power of two.
+// 1<<16 costs 8 KiB per active peer and is far above the in-flight depth
+// any benchmark reaches (see BenchmarkDedupWindow in BENCH_net.json).
+const dedupWindow = 1 << 16
+
 // peerSeen suppresses re-deliveries of retransmitted or duplicated frames
 // from one peer: contig says every sequence number in [1, contig] was
-// accepted; sparse holds accepted numbers above it.
+// accepted; bits is a dedupWindow-wide ring of accept flags for the numbers
+// above it, indexed by seq modulo the window (allocated on first use).
 type peerSeen struct {
 	session uint64
 	contig  uint64
-	sparse  map[uint64]bool
+	bits    []uint64
+}
+
+func (s *peerSeen) has(seq uint64) bool {
+	if s.bits == nil {
+		return false
+	}
+	w := seq % dedupWindow
+	return s.bits[w/64]&(1<<(w%64)) != 0
+}
+
+func (s *peerSeen) set(seq uint64) {
+	if s.bits == nil {
+		s.bits = make([]uint64, dedupWindow/64)
+	}
+	w := seq % dedupWindow
+	s.bits[w/64] |= 1 << (w % 64)
+}
+
+func (s *peerSeen) clear(seq uint64) {
+	w := seq % dedupWindow
+	s.bits[w/64] &^= 1 << (w % 64)
 }
 
 // nodeStats are the transport-level metrics exposed through PullStats, the
 // Prometheus endpoint, and the PullMetrics histogram snapshots. They live in
 // the node's obs registry; these fields are just the hot-path handles.
 type nodeStats struct {
-	framesSent     *obs.Counter
-	framesRecv     *obs.Counter
-	retransmits    *obs.Counter
-	dropsInjected  *obs.Counter
-	delaysInjected *obs.Counter
-	dupsInjected   *obs.Counter
-	connects       *obs.Counter
-	connFailures   *obs.Counter
-	decidesRecv    *obs.Counter
+	framesSent      *obs.Counter
+	framesRecv      *obs.Counter
+	batchesSent     *obs.Counter
+	batchesRecv     *obs.Counter
+	msgsSent        *obs.Counter
+	msgsRecv        *obs.Counter
+	acksPiggybacked *obs.Counter
+	retransmits     *obs.Counter
+	dropsInjected   *obs.Counter
+	delaysInjected  *obs.Counter
+	dupsInjected    *obs.Counter
+	connects        *obs.Counter
+	connFailures    *obs.Counter
+	decidesRecv     *obs.Counter
 
 	// decideLatency observes each local decision's start-to-decide time;
 	// tableLatency observes start-to-complete-table time (the point at which
@@ -139,18 +187,23 @@ type nodeStats struct {
 func (n *Node) initStats() {
 	lat := obs.DefaultLatencyBounds()
 	n.stats = nodeStats{
-		framesSent:     n.reg.Counter("kset_frames_sent_total"),
-		framesRecv:     n.reg.Counter("kset_frames_recv_total"),
-		retransmits:    n.reg.Counter("kset_retransmits_total"),
-		dropsInjected:  n.reg.Counter(`kset_faults_injected_total{kind="drop"}`),
-		delaysInjected: n.reg.Counter(`kset_faults_injected_total{kind="delay"}`),
-		dupsInjected:   n.reg.Counter(`kset_faults_injected_total{kind="dup"}`),
-		connects:       n.reg.Counter("kset_connects_total"),
-		connFailures:   n.reg.Counter("kset_conn_failures_total"),
-		decidesRecv:    n.reg.Counter("kset_decides_recv_total"),
-		decideLatency:  n.reg.Histogram("kset_decide_latency_seconds", lat),
-		tableLatency:   n.reg.Histogram("kset_table_latency_seconds", lat),
-		ackRTT:         n.reg.Histogram("kset_ack_rtt_seconds", lat),
+		framesSent:      n.reg.Counter("kset_frames_sent_total"),
+		framesRecv:      n.reg.Counter("kset_frames_recv_total"),
+		batchesSent:     n.reg.Counter("kset_batches_sent_total"),
+		batchesRecv:     n.reg.Counter("kset_batches_recv_total"),
+		msgsSent:        n.reg.Counter("kset_msgs_sent_total"),
+		msgsRecv:        n.reg.Counter("kset_msgs_recv_total"),
+		acksPiggybacked: n.reg.Counter("kset_acks_piggybacked_total"),
+		retransmits:     n.reg.Counter("kset_retransmits_total"),
+		dropsInjected:   n.reg.Counter(`kset_faults_injected_total{kind="drop"}`),
+		delaysInjected:  n.reg.Counter(`kset_faults_injected_total{kind="delay"}`),
+		dupsInjected:    n.reg.Counter(`kset_faults_injected_total{kind="dup"}`),
+		connects:        n.reg.Counter("kset_connects_total"),
+		connFailures:    n.reg.Counter("kset_conn_failures_total"),
+		decidesRecv:     n.reg.Counter("kset_decides_recv_total"),
+		decideLatency:   n.reg.Histogram("kset_decide_latency_seconds", lat),
+		tableLatency:    n.reg.Histogram("kset_table_latency_seconds", lat),
+		ackRTT:          n.reg.Histogram("kset_ack_rtt_seconds", lat),
 	}
 }
 
@@ -190,6 +243,13 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Retransmit == 0 {
 		cfg.Retransmit = 50 * time.Millisecond
 	}
+	switch cfg.WireVersion {
+	case 0:
+		cfg.WireVersion = wire.VersionBatch
+	case wire.Version, wire.VersionBatch:
+	default:
+		return nil, fmt.Errorf("%w: WireVersion %d (want %d or %d)", ErrBadConfig, cfg.WireVersion, wire.Version, wire.VersionBatch)
+	}
 	if cfg.DefaultProto == theory.ProtoNone {
 		cfg.DefaultProto = theory.ProtoFloodMin
 	}
@@ -197,8 +257,9 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:       cfg,
 		session:   uint64(time.Now().UnixNano()),
 		instances: make(map[uint64]*instance),
-		pending:   make(map[uint64][]wire.Msg),
+		pending:   make(map[uint64][]wire.BatchMsg),
 		seen:      make([]peerSeen, cfg.N),
+		peerVer:   make([]atomic.Int32, cfg.N),
 		links:     make([]*link, cfg.N),
 		reg:       obs.NewRegistry(),
 		log:       cfg.Log.With(obs.F("node", cfg.ID)),
@@ -363,6 +424,10 @@ func (n *Node) serveConn(conn net.Conn) {
 			return
 		}
 		n.resetSeenIfNewSession(hello.From, hello.Session)
+		// Record the peer's advertised wire version; the outbound link reads
+		// it on every flush to pick batch or legacy framing. A restarted peer
+		// running an older binary downgrades us here.
+		n.peerVer[hello.From].Store(int32(hello.MaxVersion))
 		n.servePeer(conn, hello.From)
 	case wire.RoleCtl:
 		n.serveCtl(conn)
@@ -379,101 +444,119 @@ func (n *Node) resetSeenIfNewSession(peer types.ProcessID, session uint64) {
 	if s.session != session {
 		s.session = session
 		s.contig = 0
-		s.sparse = nil
+		s.bits = nil
 	}
 }
 
-// servePeer consumes frames from one peer connection.
+// servePeer consumes frames from one peer connection. The frame buffer and
+// the decoded batch are reused across frames, so the steady-state receive
+// path performs no per-message allocation.
 func (n *Node) servePeer(conn net.Conn, from types.ProcessID) {
+	var buf []byte
+	var batch wire.Batch
 	for {
-		m, err := wire.ReadMsg(conn)
+		var err error
+		buf, err = wire.ReadFrameAppend(conn, buf[:0])
 		if err != nil {
 			return
 		}
 		n.stats.framesRecv.Add(1)
+		if wire.IsBatchFrame(buf) {
+			if err := wire.DecodeBatchInto(buf, &batch); err != nil {
+				n.logf("cluster: bad batch frame from peer %v: %v", from, err)
+				return
+			}
+			n.stats.batchesRecv.Add(1)
+			if len(batch.Acks) > 0 {
+				if l := n.links[from]; l != nil {
+					l.ackBatch(batch.Acks)
+				}
+			}
+			for i := range batch.Msgs {
+				n.handleSequenced(from, batch.Msgs[i])
+			}
+			continue
+		}
+		m, err := wire.Decode(buf)
+		if err != nil {
+			n.logf("cluster: bad frame from peer %v: %v", from, err)
+			return
+		}
 		switch v := m.(type) {
 		case wire.Ack:
 			if l := n.links[from]; l != nil {
 				l.ack(v.Seq)
 			}
 		case wire.Proto:
-			// The transport stamps the authentic sender, as mpnet's network
-			// does: a frame claiming another origin is dropped.
-			if v.From != from {
-				n.logf("cluster: peer %v forged sender %v", from, v.From)
-				continue
-			}
-			n.handleSequenced(from, v.Seq, m)
+			n.handleSequenced(from, wire.ProtoMsg(v))
 		case wire.Decide:
-			if v.Node != from {
-				n.logf("cluster: peer %v forged decide for %v", from, v.Node)
-				continue
-			}
-			n.stats.decidesRecv.Add(1)
-			n.handleSequenced(from, v.Seq, m)
+			n.handleSequenced(from, wire.DecideMsg(v))
 		default:
 			n.logf("cluster: unexpected %v frame on peer connection", m.Type())
 		}
 	}
 }
 
-// handleSequenced runs the reliability protocol for one sequenced frame:
-// suppress duplicates, place the frame (deliver to its instance, or buffer
+// handleSequenced runs the reliability protocol for one sequenced message
+// (from a batch or a legacy single-message frame): authenticate the sender,
+// suppress duplicates, place the message (deliver to its instance, or buffer
 // until the instance starts), and acknowledge.
-func (n *Node) handleSequenced(from types.ProcessID, seq uint64, m wire.Msg) {
-	inst, accepted := n.placeFrame(from, seq, m)
+func (n *Node) handleSequenced(from types.ProcessID, bm wire.BatchMsg) {
+	// The transport stamps the authentic sender, as mpnet's network does: a
+	// message claiming another origin is dropped.
+	if bm.From != from {
+		n.logf("cluster: peer %v forged sender %v", from, bm.From)
+		return
+	}
+	n.stats.msgsRecv.Add(1)
+	if bm.Kind == wire.TypeDecide {
+		n.stats.decidesRecv.Add(1)
+	}
+	inst, accepted := n.placeFrame(from, bm.Seq, bm)
 	if inst != nil {
-		inst.deliverWire(m)
+		inst.deliver(bm)
 	}
 	if accepted {
 		if l := n.links[from]; l != nil {
-			l.enqueueAck(seq)
+			l.enqueueAck(bm.Seq)
 		}
 	}
 }
 
-// placeFrame decides one frame's fate under the node lock: duplicate
+// placeFrame decides one message's fate under the node lock: duplicate
 // (re-ack, no delivery), deliverable (returns the instance; delivery happens
 // outside the lock), bufferable (stored until the instance starts), or
-// droppable (pending buffer full: not acknowledged, the peer will retry).
-func (n *Node) placeFrame(from types.ProcessID, seq uint64, m wire.Msg) (*instance, bool) {
+// droppable (pending buffer full or sequence beyond the dedup window: not
+// acknowledged, the peer will retry).
+func (n *Node) placeFrame(from types.ProcessID, seq uint64, bm wire.BatchMsg) (*instance, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return nil, false
 	}
 	s := &n.seen[from]
-	if seq <= s.contig || s.sparse[seq] {
+	if seq <= s.contig {
 		return nil, true // duplicate: already accepted, just re-ack
 	}
-	id := instanceOf(m)
-	inst := n.instances[id]
+	if seq > s.contig+dedupWindow {
+		return nil, false // beyond the window: drop unacked, the peer retries
+	}
+	if s.has(seq) {
+		return nil, true
+	}
+	inst := n.instances[bm.Instance]
 	if inst == nil {
-		if len(n.pending[id]) >= maxPendingFrames {
+		if len(n.pending[bm.Instance]) >= maxPendingFrames {
 			return nil, false
 		}
-		n.pending[id] = append(n.pending[id], m)
+		n.pending[bm.Instance] = append(n.pending[bm.Instance], bm)
 	}
-	if s.sparse == nil {
-		s.sparse = make(map[uint64]bool)
-	}
-	s.sparse[seq] = true
-	for s.sparse[s.contig+1] {
-		delete(s.sparse, s.contig+1)
+	s.set(seq)
+	for s.has(s.contig + 1) {
+		s.clear(s.contig + 1)
 		s.contig++
 	}
 	return inst, true
-}
-
-// instanceOf extracts the instance id of a sequenced frame.
-func instanceOf(m wire.Msg) uint64 {
-	switch v := m.(type) {
-	case wire.Proto:
-		return v.Instance
-	case wire.Decide:
-		return v.Instance
-	}
-	return 0
 }
 
 // StartInstance starts (or re-acknowledges) one consensus instance with the
@@ -507,7 +590,7 @@ func (n *Node) StartInstance(s wire.Start) error {
 // any frames buffered before the Start arrived. The waitgroup slot for the
 // instance goroutine is taken here, under the same lock as the closed check,
 // so Close cannot pass wg.Wait between the check and the Add.
-func (n *Node) registerInstance(id uint64, k, t int, proto theory.ProtocolID, ell int, input types.Value) (*instance, []wire.Msg, error) {
+func (n *Node) registerInstance(id uint64, k, t int, proto theory.ProtocolID, ell int, input types.Value) (*instance, []wire.BatchMsg, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
@@ -535,11 +618,11 @@ func (n *Node) lookup(id uint64) *instance {
 	return n.instances[id]
 }
 
-// broadcastPeers enqueues one sequenced frame to every peer link.
-func (n *Node) broadcastPeers(m wire.Msg) {
+// broadcastPeers enqueues one sequenced message to every peer link.
+func (n *Node) broadcastPeers(bm wire.BatchMsg) {
 	for _, l := range n.links {
 		if l != nil {
-			l.enqueue(m)
+			l.enqueue(bm)
 		}
 	}
 }
@@ -613,6 +696,11 @@ func (n *Node) Stats() []wire.StatPair {
 		{Name: "node.id", Value: int64(n.cfg.ID)},
 		{Name: "node.frames_sent", Value: n.stats.framesSent.Value()},
 		{Name: "node.frames_recv", Value: n.stats.framesRecv.Value()},
+		{Name: "node.batches_sent", Value: n.stats.batchesSent.Value()},
+		{Name: "node.batches_recv", Value: n.stats.batchesRecv.Value()},
+		{Name: "node.msgs_sent", Value: n.stats.msgsSent.Value()},
+		{Name: "node.msgs_recv", Value: n.stats.msgsRecv.Value()},
+		{Name: "node.acks_piggybacked", Value: n.stats.acksPiggybacked.Value()},
 		{Name: "node.retransmits", Value: n.stats.retransmits.Value()},
 		{Name: "node.faults.drop", Value: n.stats.dropsInjected.Value()},
 		{Name: "node.faults.delay", Value: n.stats.delaysInjected.Value()},
@@ -625,7 +713,17 @@ func (n *Node) Stats() []wire.StatPair {
 	ids := append([]uint64(nil), n.order...)
 	n.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for idx, id := range ids {
+		// A node serving thousands of instances would overflow the wire's
+		// MaxStatsPairs limit and make the reply unencodable. Clamp the dump
+		// (node counters plus the earliest instances) and say how many
+		// instances were cut; histogram pulls stay complete regardless.
+		if len(pairs)+5 > wire.MaxStatsPairs {
+			pairs = append(pairs, wire.StatPair{
+				Name: "node.stats_truncated_instances", Value: int64(len(ids) - idx),
+			})
+			break
+		}
 		if inst := n.lookup(id); inst != nil {
 			pairs = append(pairs, inst.statPairs()...)
 		}

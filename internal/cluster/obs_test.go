@@ -71,7 +71,8 @@ func TestFlushRequeuesAcksOnDialFailure(t *testing.T) {
 	// One transport ack and one sequenced frame are waiting when the peer is
 	// unreachable.
 	l.enqueueAck(7)
-	l.enqueue(wire.Proto{Instance: 1, From: 0, Payload: types.Payload{Kind: types.KindEcho}})
+	l.enqueue(wire.BatchMsg{Kind: wire.TypeProto, Instance: 1, From: 0,
+		Payload: types.Payload{Kind: types.KindEcho}})
 
 	l.flush() // dial fails
 	l.mu.Lock()

@@ -152,6 +152,28 @@ func TestClusterSoak(t *testing.T) {
 			t.Errorf("stats: %s = %d, want > 0", name, stats[name])
 		}
 	}
+
+	// Syscall accounting for the BENCH_net.json ledger: frames written per
+	// decision across the surviving nodes. Each frame is one length-prefixed
+	// write on a link, so this ratio is the soak's syscalls-per-decision.
+	var framesSent, decisions int64
+	for i := 0; i < n; i++ {
+		if clients[i] == nil {
+			continue
+		}
+		pairs, err := clients[i].Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[string]int64, len(pairs))
+		for _, p := range pairs {
+			m[p.Name] = p.Value
+		}
+		framesSent += m["node.frames_sent"]
+		decisions += int64(instances)
+	}
+	t.Logf("soak transport: %d frames sent for %d decisions (%.1f frames/decision)",
+		framesSent, decisions, float64(framesSent)/float64(decisions))
 }
 
 // awaitClientTable polls a node's table through its control connection until

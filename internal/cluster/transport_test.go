@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// failingConn is a net.Conn whose writes start failing at a chosen call
+// index, simulating a connection dying mid-flush. Reads block until close.
+type failingConn struct {
+	failAt int // first Write call (1-based) that fails; 0 = never
+	writes int
+	done   chan struct{}
+}
+
+func newFailingConn(failAt int) *failingConn {
+	return &failingConn{failAt: failAt, done: make(chan struct{})}
+}
+
+func (c *failingConn) Write(p []byte) (int, error) {
+	c.writes++
+	if c.failAt > 0 && c.writes >= c.failAt {
+		return 0, errors.New("injected write failure")
+	}
+	return len(p), nil
+}
+
+func (c *failingConn) Read(p []byte) (int, error) {
+	<-c.done
+	return 0, errors.New("closed")
+}
+
+func (c *failingConn) Close() error {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	return nil
+}
+
+func (c *failingConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *failingConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *failingConn) SetDeadline(t time.Time) error      { return nil }
+func (c *failingConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *failingConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// unservedNode builds a node whose peers are unreachable, for driving the
+// link and dedup state directly.
+func unservedNode(t testing.TB, wireVersion int) *Node {
+	t.Helper()
+	n, err := NewNode(Config{
+		ID: 0, N: 2, K: 1, T: 0,
+		Peers:       []string{"127.0.0.1:1", "127.0.0.1:1"},
+		WireVersion: wireVersion,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+// plantConn installs a hand-wired connection on the link, bypassing the dial
+// path. The one-byte bufio buffer makes every frame write hit the conn
+// immediately, so a write failure surfaces mid-flush rather than at the
+// final Flush.
+func plantConn(l *link, c net.Conn) {
+	l.conn = c
+	l.bw = bufio.NewWriterSize(c, 1)
+}
+
+// TestFlushStopsOnMidFlushWriteFailure is the regression test for the flush
+// loop's failure handling: when a write fails partway through a round, the
+// round must end immediately — remaining sequenced frames stay queued for
+// retransmission, unsent acks are requeued, and the connection is torn down
+// exactly once.
+func TestFlushStopsOnMidFlushWriteFailure(t *testing.T) {
+	t.Run("sequenced frames survive", func(t *testing.T) {
+		n := unservedNode(t, wire.Version)
+		l := n.links[1]
+		fc := newFailingConn(1) // every write fails
+		plantConn(l, fc)
+		for i := 0; i < 3; i++ {
+			l.enqueue(wire.BatchMsg{Kind: wire.TypeProto, Instance: 1, From: 0,
+				Payload: types.Payload{Kind: types.KindEcho, Value: types.Value(i)}})
+		}
+		l.flush()
+		l.mu.Lock()
+		queued := len(l.queue)
+		l.mu.Unlock()
+		if queued != 3 {
+			t.Errorf("after mid-flush failure: %d frames queued, want all 3", queued)
+		}
+		if got := n.stats.framesSent.Value(); got != 0 {
+			t.Errorf("frames_sent = %d, want 0 (nothing completed)", got)
+		}
+		if got := n.stats.connFailures.Value(); got != 1 {
+			t.Errorf("conn_failures = %d, want exactly 1 teardown", got)
+		}
+		if fc.writes != 1 {
+			t.Errorf("conn saw %d write attempts after the failure, want the failing one only", fc.writes)
+		}
+		if l.conn != nil {
+			t.Error("connection not torn down after write failure")
+		}
+	})
+
+	t.Run("unsent acks requeued", func(t *testing.T) {
+		n := unservedNode(t, wire.Version)
+		l := n.links[1]
+		// Each v1 frame is two conn writes (prefix, body) through the
+		// one-byte bufio; failing at call 3 lands mid-round, after the first
+		// ack made it out.
+		fc := newFailingConn(3)
+		plantConn(l, fc)
+		for _, seq := range []uint64{1, 2, 3} {
+			l.enqueueAck(seq)
+		}
+		l.flush()
+		l.mu.Lock()
+		acks := append([]uint64(nil), l.acks...)
+		l.mu.Unlock()
+		if len(acks) != 2 || acks[0] != 2 || acks[1] != 3 {
+			t.Errorf("requeued acks = %v, want [2 3]", acks)
+		}
+		if got := n.stats.framesSent.Value(); got != 1 {
+			t.Errorf("frames_sent = %d, want 1 (the ack that completed)", got)
+		}
+	})
+
+	t.Run("batch path requeues acks", func(t *testing.T) {
+		n := unservedNode(t, wire.VersionBatch)
+		l := n.links[1]
+		n.peerVer[1].Store(wire.VersionBatch) // pretend the peer negotiated
+		fc := newFailingConn(1)
+		plantConn(l, fc)
+		l.enqueueAck(7)
+		l.enqueue(wire.BatchMsg{Kind: wire.TypeProto, Instance: 1, From: 0,
+			Payload: types.Payload{Kind: types.KindEcho}})
+		l.flush()
+		l.mu.Lock()
+		acks := append([]uint64(nil), l.acks...)
+		queued := len(l.queue)
+		l.mu.Unlock()
+		if len(acks) != 1 || acks[0] != 7 {
+			t.Errorf("requeued acks = %v, want [7]", acks)
+		}
+		if queued != 1 {
+			t.Errorf("%d frames queued, want 1", queued)
+		}
+		if got := n.stats.batchesSent.Value(); got != 0 {
+			t.Errorf("batches_sent = %d, want 0", got)
+		}
+	})
+}
+
+// TestMixedVersionInterop runs a cluster of one legacy (v1) node and two
+// batching nodes through a full consensus instance: the batching nodes must
+// fall back to single-message frames toward the v1 node while batching
+// between themselves, and every node must still assemble a checker-clean
+// table.
+func TestMixedVersionInterop(t *testing.T) {
+	lb, err := StartLoopback(LoopbackConfig{
+		N: 3, K: 1, T: 0, Seed: 7,
+		WireVersions: []int{wire.Version, wire.VersionBatch, wire.VersionBatch},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	inputs := []types.Value{30, 10, 20}
+	startEverywhere(t, lb, 1, 1, 0, theory.ProtoFloodMin, inputs)
+	deadline := time.Now().Add(30 * time.Second)
+	survivors := allAlive(3)
+	for i, node := range lb.Nodes {
+		tbl := awaitTable(t, node, 1, survivors, deadline)
+		if _, err := VerifyTable(tbl, inputs, types.RV1, 7); err != nil {
+			t.Errorf("node %d table: %v", i, err)
+		}
+	}
+
+	// The v1 node must never see or emit a batch frame.
+	v1 := lb.Nodes[0]
+	if got := v1.stats.batchesSent.Value(); got != 0 {
+		t.Errorf("v1 node sent %d batches, want 0", got)
+	}
+	if got := v1.stats.batchesRecv.Value(); got != 0 {
+		t.Errorf("v1 node received %d batches, want 0", got)
+	}
+	// The two batching nodes ack each other's frames, so batches flow in
+	// both directions between them by the time the instance completes.
+	if got := lb.Nodes[1].stats.batchesSent.Value(); got == 0 {
+		t.Error("batching node 1 sent no batches")
+	}
+	if got := lb.Nodes[2].stats.batchesRecv.Value(); got == 0 {
+		t.Error("batching node 2 received no batches")
+	}
+}
+
+// TestBatchTransportCounters pins the new observability counters on a
+// default (batching) cluster: batches flow both ways, acks ride on data
+// frames, and messages outnumber physical frames.
+func TestBatchTransportCounters(t *testing.T) {
+	lb, err := StartLoopback(LoopbackConfig{N: 2, K: 1, T: 0, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	inputs := []types.Value{5, 9}
+	for id := uint64(1); id <= 4; id++ {
+		startEverywhere(t, lb, id, 1, 0, theory.ProtoFloodMin, inputs)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	survivors := allAlive(2)
+	for id := uint64(1); id <= 4; id++ {
+		for _, node := range lb.Nodes {
+			awaitTable(t, node, id, survivors, deadline)
+		}
+	}
+	for i, node := range lb.Nodes {
+		for name, c := range map[string]int64{
+			"batches_sent":     node.stats.batchesSent.Value(),
+			"batches_recv":     node.stats.batchesRecv.Value(),
+			"msgs_sent":        node.stats.msgsSent.Value(),
+			"msgs_recv":        node.stats.msgsRecv.Value(),
+			"acks_piggybacked": node.stats.acksPiggybacked.Value(),
+		} {
+			if c <= 0 {
+				t.Errorf("node %d: %s = %d, want > 0", i, name, c)
+			}
+		}
+	}
+}
+
+// TestDedupWindowSemantics drives placeFrame directly: duplicates re-ack
+// without redelivery, gaps within the window buffer and then advance the
+// contiguous watermark, sequence numbers beyond the window are refused
+// unacknowledged, and a new session resets everything.
+func TestDedupWindowSemantics(t *testing.T) {
+	n := unservedNode(t, 0)
+	if err := n.StartInstance(wire.Start{
+		Instance: 1, K: 1, T: 0, Proto: uint8(theory.ProtoTrivial), Input: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	msg := func(seq uint64) wire.BatchMsg {
+		return wire.BatchMsg{Kind: wire.TypeProto, Seq: seq, Instance: 1, From: 1,
+			Payload: types.Payload{Kind: types.KindEcho}}
+	}
+	place := func(seq uint64) (bool, bool) {
+		inst, accepted := n.placeFrame(1, seq, msg(seq))
+		return inst != nil, accepted
+	}
+
+	// Out-of-order arrival within the window: all accepted and delivered.
+	for _, seq := range []uint64{3, 1, 2} {
+		if deliver, accepted := place(seq); !deliver || !accepted {
+			t.Fatalf("seq %d: deliver=%v accepted=%v, want true/true", seq, deliver, accepted)
+		}
+	}
+	// Retransmissions of anything accepted re-ack without redelivery,
+	// whether below the contiguous watermark or above it.
+	if deliver, accepted := place(2); deliver || !accepted {
+		t.Errorf("dup seq 2: deliver=%v accepted=%v, want false/true", deliver, accepted)
+	}
+	if _, accepted := place(5); !accepted {
+		t.Fatal("seq 5 (gap) rejected")
+	}
+	if deliver, accepted := place(5); deliver || !accepted {
+		t.Errorf("dup seq 5 above watermark: deliver=%v accepted=%v, want false/true", deliver, accepted)
+	}
+	// Beyond the window: refused and unacknowledged, so the peer retries.
+	if deliver, accepted := place(3 + dedupWindow + 1); deliver || accepted {
+		t.Errorf("seq beyond window: deliver=%v accepted=%v, want false/false", deliver, accepted)
+	}
+	// The window slides with the watermark: once seq 4 fills the gap the
+	// watermark reaches 5, and 5+dedupWindow becomes acceptable.
+	if _, accepted := place(4); !accepted {
+		t.Fatal("seq 4 rejected")
+	}
+	if deliver, accepted := place(5 + dedupWindow); !deliver || !accepted {
+		t.Errorf("seq at window edge: deliver=%v accepted=%v, want true/true", deliver, accepted)
+	}
+	// A new session restarts the peer's sequence space.
+	n.resetSeenIfNewSession(1, 42)
+	if deliver, accepted := place(1); !deliver || !accepted {
+		t.Errorf("seq 1 after session reset: deliver=%v accepted=%v, want true/true", deliver, accepted)
+	}
+}

@@ -44,6 +44,76 @@ func sliceChecked(buf []byte, off, n int) ([]byte, error) {
 	return buf[off : off+n], nil
 }
 
+// loopUnchecked spins on a peer-supplied count that nothing examined: the
+// loop's own condition is not a guard, because it cannot reject the count —
+// only burn cycles (and, with an append in the body, memory) on it.
+func loopUnchecked(buf []byte) int {
+	n := int(buf[0])
+	sum := 0
+	for i := 0; i < n; i++ { // want wirebounds.loop
+		sum += i
+	}
+	return sum
+}
+
+// loopChecked is the codec idiom: reject the count before looping on it.
+func loopChecked(buf []byte) (int, error) {
+	n := int(buf[0])
+	if n > maxItems {
+		return 0, errTruncated
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum, nil
+}
+
+// loopSwitchChecked: a switch examining the count also counts as a guard.
+func loopSwitchChecked(buf []byte) int {
+	n := int(buf[0])
+	switch n {
+	case 0:
+		return 0
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// loopFieldUnchecked: selector bounds are held to the same standard.
+type frameHeader struct{ count int }
+
+func loopFieldUnchecked(h frameHeader) int {
+	sum := 0
+	for i := 0; i < h.count; i++ { // want wirebounds.loop
+		sum += i
+	}
+	return sum
+}
+
+// loopLenBounded loops over data already in hand; len() needs no guard, and
+// neither do the loop's own variables.
+func loopLenBounded(buf []byte) int {
+	sum := 0
+	for i := 0; i < len(buf); i++ {
+		sum += int(buf[i])
+	}
+	return sum
+}
+
+// loopAllowed demonstrates the waiver syntax for a bound that is safe for
+// reasons the analyzer cannot see.
+func loopAllowed(bounded int) int {
+	sum := 0
+	for i := 0; i < bounded; i++ { //ksetlint:allow wirebounds.loop caller validates the count
+		sum += i
+	}
+	return sum
+}
+
 // constSized allocations and bounds need no guard.
 func header() []byte {
 	b := make([]byte, 4, 8)

@@ -18,14 +18,20 @@ import (
 //     check in the enclosing function.
 //   - wirebounds.slice: a slice expression whose bounds were not previously
 //     checked in the enclosing function.
+//   - wirebounds.loop: a for loop bounded by a value that no if or switch
+//     condition examined first. The loop's own condition does not count —
+//     `for i := 0; i < n; i++ { out = append(out, read()) }` is exactly the
+//     unbounded-work shape the rule exists for, and under the alloc rule's
+//     any-condition notion of "checked" that loop would vouch for itself.
 //
 // A value counts as checked when it (by printed name, e.g. "n" or "d.off")
 // appears in an if or for condition earlier in the same function — the
 // decoder idiom `if rows*9 > rem { return err }` — or is a constant, a
-// len()/cap() result, or arithmetic over checked values. The analysis is
-// per-function and name-based: decoders in this repo are small and
-// straight-line, and anything it cannot prove checked deserves an explicit
-// guard or an allow directive.
+// len()/cap() result, or arithmetic over checked values. The loop rule is
+// stricter: only if and switch conditions count, and they must appear before
+// the loop. The analysis is per-function and name-based: decoders in this
+// repo are small and straight-line, and anything it cannot prove checked
+// deserves an explicit guard or an allow directive.
 type WireBounds struct{}
 
 // NewWireBounds returns the wirebounds analyzer.
@@ -39,6 +45,7 @@ func (*WireBounds) Rules() []Rule {
 	return []Rule{
 		{ID: "wirebounds.alloc", Doc: "make() sized by a length with no prior bounds check"},
 		{ID: "wirebounds.slice", Doc: "slice expression with bounds not previously checked"},
+		{ID: "wirebounds.loop", Doc: "for loop bounded by a count no if or switch condition checked first"},
 	}
 }
 
@@ -60,31 +67,35 @@ func (*WireBounds) Check(pkg *Package) []Finding {
 }
 
 // guardAtom records one identifier or selector that appeared in a branch
-// condition, keyed by its printed form, at the condition's position.
+// condition, keyed by its printed form, at the condition's position. branch
+// distinguishes if/switch conditions (which can reject and return) from for
+// conditions (which only bound their own loop): the loop rule accepts only
+// the former as a guard.
 type guardAtom struct {
-	name string
-	pos  token.Pos
+	name   string
+	pos    token.Pos
+	branch bool
 }
 
-// collectGuards gathers every ident/selector mentioned in an if or for
-// condition anywhere in the function (including conditions inside nested
+// collectGuards gathers every ident/selector mentioned in an if, switch, or
+// for condition anywhere in the function (including conditions inside nested
 // literals — a guard is a guard).
 func collectGuards(body *ast.BlockStmt) []guardAtom {
 	var atoms []guardAtom
-	addCond := func(cond ast.Expr) {
+	addCond := func(cond ast.Expr, branch bool) {
 		if cond == nil {
 			return
 		}
 		ast.Inspect(cond, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
-				atoms = append(atoms, guardAtom{name: types.ExprString(n), pos: cond.Pos()})
+				atoms = append(atoms, guardAtom{name: types.ExprString(n), pos: cond.Pos(), branch: branch})
 				// Also record the nested parts, so a guard on d.off covers
 				// later uses of d.off but a guard mentioning len(d.buf)
 				// covers d.buf too.
 				return true
 			case *ast.Ident:
-				atoms = append(atoms, guardAtom{name: n.Name, pos: cond.Pos()})
+				atoms = append(atoms, guardAtom{name: n.Name, pos: cond.Pos(), branch: branch})
 			}
 			return true
 		})
@@ -92,11 +103,11 @@ func collectGuards(body *ast.BlockStmt) []guardAtom {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.IfStmt:
-			addCond(s.Cond)
+			addCond(s.Cond, true)
 		case *ast.ForStmt:
-			addCond(s.Cond)
+			addCond(s.Cond, false)
 		case *ast.SwitchStmt:
-			addCond(s.Tag)
+			addCond(s.Tag, true)
 		}
 		return true
 	})
@@ -110,10 +121,22 @@ type boundsWalker struct {
 }
 
 // guarded reports whether a value with the given printed form was mentioned
-// in a branch condition before pos.
+// in any condition before pos.
 func (w *boundsWalker) guarded(name string, pos token.Pos) bool {
 	for _, g := range w.guards {
 		if g.name == name && g.pos < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// branchGuarded is the stricter form the loop rule uses: only if and switch
+// conditions count, because a for condition cannot reject a hostile count —
+// it can only spin on it.
+func (w *boundsWalker) branchGuarded(name string, pos token.Pos) bool {
+	for _, g := range w.guards {
+		if g.branch && g.name == name && g.pos < pos {
 			return true
 		}
 	}
@@ -141,9 +164,88 @@ func (w *boundsWalker) checkBody(body *ast.BlockStmt) {
 					break
 				}
 			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				if atom, ok := w.loopBoundSafe(n.Cond, forLocals(n)); !ok {
+					w.report(n.Cond.Pos(), "wirebounds.loop",
+						fmt.Sprintf("loop bounded by %s, which no if or switch condition checked first", atom))
+				}
+			}
 		}
 		return true
 	})
+}
+
+// forLocals collects the loop's own variables — declared in the init
+// statement or stepped by the post statement — which bound nothing by
+// themselves and are exempt from the loop rule.
+func forLocals(f *ast.ForStmt) map[string]bool {
+	locals := make(map[string]bool)
+	if init, ok := f.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range init.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				locals[id.Name] = true
+			}
+		}
+	}
+	switch post := f.Post.(type) {
+	case *ast.IncDecStmt:
+		if id, ok := post.X.(*ast.Ident); ok {
+			locals[id.Name] = true
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range post.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				locals[id.Name] = true
+			}
+		}
+	}
+	return locals
+}
+
+// loopBoundSafe reports whether every value bounding a loop condition is
+// harmless: the loop's own variable, a constant, a len/cap result, or a
+// value an if or switch condition examined before the loop. On failure it
+// returns the printed form of the first offending value. Unlike safeSize,
+// mention in an earlier for condition is not enough — a loop cannot vouch
+// for another loop's bound.
+func (w *boundsWalker) loopBoundSafe(e ast.Expr, locals map[string]bool) (string, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := w.pkg.Info.Types[e]; ok && tv.Value != nil {
+		return "", true
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return "", true
+	case *ast.Ident:
+		if locals[e.Name] || w.branchGuarded(e.Name, e.Pos()) {
+			return "", true
+		}
+		return e.Name, false
+	case *ast.SelectorExpr:
+		if w.branchGuarded(types.ExprString(e), e.Pos()) {
+			return "", true
+		}
+		return types.ExprString(e), false
+	case *ast.BinaryExpr:
+		if atom, ok := w.loopBoundSafe(e.X, locals); !ok {
+			return atom, false
+		}
+		return w.loopBoundSafe(e.Y, locals)
+	case *ast.UnaryExpr:
+		return w.loopBoundSafe(e.X, locals)
+	case *ast.CallExpr:
+		switch builtinName(w.pkg, e) {
+		case "len", "cap", "min", "max":
+			return "", true
+		}
+		if isTypeConversion(w.pkg, e) && len(e.Args) == 1 {
+			return w.loopBoundSafe(e.Args[0], locals)
+		}
+	}
+	// Anything else (an index expression, a method call used as the loop's
+	// continue test, a channel receive) is not a decoded count; stay quiet.
+	return "", true
 }
 
 func (w *boundsWalker) report(pos token.Pos, rule, msg string) {

@@ -1,0 +1,236 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"kset/internal/types"
+)
+
+// VersionBatch is the wire version of the batch frame introduced alongside
+// the v1 single-message frames. A batch frame coalesces many sequenced peer
+// messages and a piggybacked ack vector into one length-prefixed frame — one
+// write syscall carrying many instances' payloads — and is only sent to
+// peers whose Hello advertised MaxVersion >= VersionBatch. Every other frame
+// type still travels as a v1 single-message frame, so v1-only peers
+// interoperate untouched.
+const VersionBatch = 2
+
+// Batch-frame limits, enforced during decode before any allocation or loop
+// is sized by peer input.
+const (
+	MaxBatchMsgs = 1 << 12 // sequenced messages in one batch frame
+	MaxBatchAcks = 1 << 12 // acks piggybacked on one batch frame
+)
+
+// Minimum encoded sizes used to reject hostile counts before looping:
+// an ack is one u64; the smallest batch message is a decide (kind, seq,
+// instance, pid, value).
+const (
+	ackWireSize   = 8
+	minBatchMsg   = 1 + 8 + 8 + 4 + 8
+	protoWireSize = 1 + 8 + 8 + 4 + 1 + 8 + 4
+)
+
+// BatchMsg is one sequenced peer message inside a batch frame: a flat union
+// of Proto and Decide, so batches decode into reusable slices without boxing
+// every message into an interface. Kind selects which fields are meaningful:
+//
+//   - TypeProto:  Seq, Instance, From, Payload
+//   - TypeDecide: Seq, Instance, From (the deciding node), Value
+type BatchMsg struct {
+	Kind     MsgType
+	Seq      uint64
+	Instance uint64
+	From     types.ProcessID
+	Value    types.Value
+	Payload  types.Payload
+}
+
+// ProtoMsg wraps a Proto payload as a batch message.
+func ProtoMsg(p Proto) BatchMsg {
+	return BatchMsg{Kind: TypeProto, Seq: p.Seq, Instance: p.Instance, From: p.From, Payload: p.Payload}
+}
+
+// DecideMsg wraps a Decide announcement as a batch message.
+func DecideMsg(d Decide) BatchMsg {
+	return BatchMsg{Kind: TypeDecide, Seq: d.Seq, Instance: d.Instance, From: d.Node, Value: d.Value}
+}
+
+// Msg converts the flat union back to the equivalent single-message frame
+// value (a Proto or Decide).
+func (m BatchMsg) Msg() Msg {
+	switch m.Kind {
+	case TypeProto:
+		return Proto{Seq: m.Seq, Instance: m.Instance, From: m.From, Payload: m.Payload}
+	case TypeDecide:
+		return Decide{Seq: m.Seq, Instance: m.Instance, Node: m.From, Value: m.Value}
+	}
+	return nil
+}
+
+// Batch is one decoded batch frame: the piggybacked ack vector plus the
+// coalesced sequenced messages, in their original send order. DecodeBatchInto
+// reuses the slices across frames, so a steady-state receiver allocates
+// nothing per batch.
+type Batch struct {
+	Acks []uint64
+	Msgs []BatchMsg
+}
+
+// Type implements Msg.
+func (Batch) Type() MsgType { return TypeBatch }
+
+// IsBatchFrame reports whether a frame body is a batch frame (version 2,
+// type batch) without decoding it.
+func IsBatchFrame(body []byte) bool {
+	return len(body) >= 2 && body[0] == VersionBatch && body[1] == byte(TypeBatch)
+}
+
+// AppendBatch appends the encoded batch frame body (version, type, ack
+// vector, messages) to dst and returns the extended slice. With a dst of
+// sufficient capacity it performs no allocation. Field validation matches
+// Encode: anything AppendBatch accepts, DecodeBatchInto maps back to the
+// identical acks and msgs.
+func AppendBatch(dst []byte, acks []uint64, msgs []BatchMsg) ([]byte, error) {
+	start := len(dst)
+	e := encoder{buf: dst}
+	e.u8(VersionBatch)
+	e.u8(uint8(TypeBatch))
+	e.count(len(acks), MaxBatchAcks, "batch acks")
+	for _, seq := range acks {
+		e.u64(seq)
+	}
+	e.count(len(msgs), MaxBatchMsgs, "batch msgs")
+	for i := range msgs {
+		m := &msgs[i]
+		switch m.Kind {
+		case TypeProto:
+			e.u8(uint8(TypeProto))
+			e.u64(m.Seq)
+			e.u64(m.Instance)
+			e.pid(int64(m.From), 0)
+			e.u8(uint8(m.Payload.Kind))
+			e.i64(int64(m.Payload.Value))
+			e.pid(int64(m.Payload.Origin), 0)
+		case TypeDecide:
+			e.u8(uint8(TypeDecide))
+			e.u64(m.Seq)
+			e.u64(m.Instance)
+			e.pid(int64(m.From), 0)
+			e.i64(int64(m.Value))
+		default:
+			return dst, fmt.Errorf("%w: batch message kind %v", ErrBadFrame, m.Kind)
+		}
+	}
+	if e.err != nil {
+		return dst, e.err
+	}
+	if len(e.buf)-start > MaxFrame {
+		return dst, fmt.Errorf("%w: batch of %d bytes", ErrTooLarge, len(e.buf)-start)
+	}
+	return e.buf, nil
+}
+
+// AppendBatchFrame appends a complete stream frame — the 4-byte length
+// prefix followed by the batch body — to dst. The caller hands the result to
+// one Write, so a whole flush round costs one syscall.
+func AppendBatchFrame(dst []byte, acks []uint64, msgs []BatchMsg) ([]byte, error) {
+	orig := dst
+	dst = append(dst, 0, 0, 0, 0)
+	out, err := AppendBatch(dst, acks, msgs)
+	if err != nil {
+		return orig, err
+	}
+	binary.BigEndian.PutUint32(out[len(orig):], uint32(len(out)-len(orig)-4))
+	return out, nil
+}
+
+// DecodeBatchInto parses one batch frame body into b, reusing b's slice
+// capacity. It is as strict as Decode: exact version and type, every count
+// bounds-checked against the remaining bytes before the loop it sizes, and
+// no trailing bytes.
+func DecodeBatchInto(body []byte, b *Batch) error {
+	b.Acks = b.Acks[:0]
+	b.Msgs = b.Msgs[:0]
+	d := &decoder{buf: body}
+	if v := d.u8(); d.err == nil && v != VersionBatch {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, v, VersionBatch)
+	}
+	if t := MsgType(d.u8()); d.err == nil && t != TypeBatch {
+		return fmt.Errorf("%w: type %v in batch frame", ErrBadFrame, t)
+	}
+	acks := d.count(MaxBatchAcks, "batch acks")
+	if d.err == nil {
+		if rem := len(d.buf) - d.off; acks*ackWireSize > rem {
+			return fmt.Errorf("%w: %d acks in %d bytes", ErrBadFrame, acks, rem)
+		}
+		for i := 0; i < acks; i++ {
+			b.Acks = append(b.Acks, d.u64())
+		}
+	}
+	msgs := d.count(MaxBatchMsgs, "batch msgs")
+	if d.err == nil {
+		if rem := len(d.buf) - d.off; msgs*minBatchMsg > rem {
+			return fmt.Errorf("%w: %d batch messages in %d bytes", ErrBadFrame, msgs, rem)
+		}
+		for i := 0; i < msgs; i++ {
+			var m BatchMsg
+			m.Kind = MsgType(d.u8())
+			if d.err != nil {
+				break
+			}
+			switch m.Kind {
+			case TypeProto:
+				m.Seq = d.u64()
+				m.Instance = d.u64()
+				m.From = types.ProcessID(d.pid(0))
+				m.Payload.Kind = types.MsgKind(d.u8())
+				m.Payload.Value = types.Value(d.i64())
+				m.Payload.Origin = types.ProcessID(d.pid(0))
+			case TypeDecide:
+				m.Seq = d.u64()
+				m.Instance = d.u64()
+				m.From = types.ProcessID(d.pid(0))
+				m.Value = types.Value(d.i64())
+			default:
+				return fmt.Errorf("%w: batch message kind %d", ErrBadFrame, uint8(m.Kind))
+			}
+			b.Msgs = append(b.Msgs, m)
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// ReadFrameAppend reads one length-prefixed frame body from r, appending it
+// to buf (normally buf[:0] of a reused buffer) and returning the extended
+// slice. The length prefix is bounds-checked against MaxFrame before any
+// growth, so a steady-state reader allocates nothing per frame.
+func ReadFrameAppend(r io.Reader, buf []byte) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return buf, err
+	}
+	n := int(binary.BigEndian.Uint32(prefix[:]))
+	if n > MaxFrame {
+		return buf, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+	}
+	start := len(buf)
+	if cap(buf)-start < n {
+		grown := make([]byte, start, start+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:start+n]
+	if _, err := io.ReadFull(r, buf[start:]); err != nil {
+		return buf[:start], err
+	}
+	return buf, nil
+}

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"kset/internal/types"
+)
+
+// protoMsgs builds n distinct protocol batch messages.
+func protoMsgs(n int) []BatchMsg {
+	msgs := make([]BatchMsg, n)
+	for i := range msgs {
+		msgs[i] = ProtoMsg(Proto{
+			Seq:      uint64(i + 1),
+			Instance: uint64(i % 7),
+			From:     types.ProcessID(i % 5),
+			Payload:  types.Payload{Kind: types.KindEcho, Value: types.Value(i), Origin: 1},
+		})
+	}
+	return msgs
+}
+
+// TestBatchFrameRoundTrip drives the zero-allocation path end to end the way
+// the link does: append full stream frames into one reused buffer, read them
+// back with ReadFrameAppend, and decode into a reused Batch.
+func TestBatchFrameRoundTrip(t *testing.T) {
+	frames := []Batch{
+		{Acks: []uint64{9, 2, 500}, Msgs: protoMsgs(3)},
+		{Acks: nil, Msgs: []BatchMsg{DecideMsg(Decide{Seq: 4, Instance: 1, Node: 2, Value: -9})}},
+		{Acks: []uint64{1}, Msgs: nil},
+		{},
+	}
+	var stream bytes.Buffer
+	var enc []byte
+	for _, f := range frames {
+		var err error
+		enc, err = AppendBatchFrame(enc[:0], f.Acks, f.Msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(enc)
+	}
+	var buf []byte
+	var got Batch
+	for i, want := range frames {
+		var err error
+		buf, err = ReadFrameAppend(&stream, buf[:0])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !IsBatchFrame(buf) {
+			t.Fatalf("frame %d: not recognized as a batch frame", i)
+		}
+		if err := DecodeBatchInto(buf, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(want), normalize(got)) {
+			t.Errorf("frame %d changed:\n%#v\nvs\n%#v", i, want, got)
+		}
+	}
+	if stream.Len() != 0 {
+		t.Errorf("%d bytes left over after reading all frames", stream.Len())
+	}
+}
+
+// TestBatchMsgConversions pins the flat union against the v1 frame types it
+// mirrors, in both directions.
+func TestBatchMsgConversions(t *testing.T) {
+	p := Proto{Seq: 7, Instance: 3, From: 2,
+		Payload: types.Payload{Kind: types.KindInit, Value: 11, Origin: 4}}
+	d := Decide{Seq: 8, Instance: 3, Node: 1, Value: -2}
+	if got := ProtoMsg(p).Msg(); !reflect.DeepEqual(got, p) {
+		t.Errorf("ProtoMsg round trip: %#v vs %#v", got, p)
+	}
+	if got := DecideMsg(d).Msg(); !reflect.DeepEqual(got, d) {
+		t.Errorf("DecideMsg round trip: %#v vs %#v", got, d)
+	}
+	if got := (BatchMsg{Kind: TypeAck}).Msg(); got != nil {
+		t.Errorf("non-payload kind converted to %#v, want nil", got)
+	}
+}
+
+// TestAppendEncodeMatchesEncode pins AppendEncode as a pure append form of
+// Encode: same bytes, placed after any existing prefix, for every sample.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	for _, m := range sampleMsgs() {
+		want, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", m, err)
+		}
+		got, err := AppendEncode(append([]byte{}, prefix...), m)
+		if err != nil {
+			t.Fatalf("AppendEncode(%#v): %v", m, err)
+		}
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("AppendEncode(%#v) clobbered the prefix: %x", m, got)
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Errorf("AppendEncode(%#v) = %x, want %x", m, got[len(prefix):], want)
+		}
+	}
+}
+
+// TestAppendBatchFrameErrorRestoresDst pins that a failed frame append does
+// not leave a half-written length prefix in the caller's buffer.
+func TestAppendBatchFrameErrorRestoresDst(t *testing.T) {
+	dst := []byte{1, 2, 3}
+	out, err := AppendBatchFrame(dst, nil, []BatchMsg{{Kind: TypeHello}})
+	if err == nil {
+		t.Fatal("bad batch message accepted")
+	}
+	if !bytes.Equal(out, []byte{1, 2, 3}) {
+		t.Errorf("dst after failed append = %x, want original bytes", out)
+	}
+}
+
+// TestReadFrameAppendReuse pins that a buffer with enough capacity is reused
+// rather than reallocated.
+func TestReadFrameAppendReuse(t *testing.T) {
+	frame, err := AppendBatchFrame(nil, []uint64{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 256)
+	got, err := ReadFrameAppend(bytes.NewReader(frame), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("ReadFrameAppend reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(got, frame[4:]) {
+		t.Errorf("body = %x, want %x", got, frame[4:])
+	}
+	// An oversized prefix is rejected before any read or growth.
+	if _, err := ReadFrameAppend(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF}), nil); err == nil {
+		t.Error("oversized frame prefix accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"testing"
+
+	"kset/internal/types"
+)
+
+// benchProto is the hot-path frame: one mpnet payload between two consensus
+// processes, the message the cluster transport carries by the million.
+func benchProto() Proto {
+	return Proto{
+		Seq:      12345,
+		Instance: 42,
+		From:     3,
+		Payload:  types.Payload{Kind: types.KindEcho, Value: 907, Origin: 1},
+	}
+}
+
+// BenchmarkWireEncode measures encoding one protocol message the way the
+// link hot path does: AppendEncode into a caller-owned buffer reused across
+// frames, which must not allocate in steady state.
+func BenchmarkWireEncode(b *testing.B) {
+	var m Msg = benchProto() // boxed once, not per frame
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendEncode(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecode measures decoding one protocol message the way the
+// receive hot path does.
+func BenchmarkWireDecode(b *testing.B) {
+	body, err := Encode(benchProto())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchRoundTrip measures the batched hot path per message: a full
+// frame of coalesced protocol messages with a piggybacked ack vector encoded
+// into a reused buffer and decoded back into a reused Batch. ns/op is the
+// per-message cost, and steady state must be allocation-free both ways.
+func BenchmarkBatchRoundTrip(b *testing.B) {
+	const msgsPerFrame = 64
+	msgs := make([]BatchMsg, msgsPerFrame)
+	acks := make([]uint64, msgsPerFrame)
+	for i := range msgs {
+		p := benchProto()
+		p.Seq = uint64(i + 1)
+		msgs[i] = ProtoMsg(p)
+		acks[i] = uint64(i + 1)
+	}
+	buf := make([]byte, 0, 4096)
+	var dec Batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += msgsPerFrame {
+		frame, err := AppendBatchFrame(buf[:0], acks, msgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = frame[:0]
+		if err := DecodeBatchInto(frame[4:], &dec); err != nil {
+			b.Fatal(err)
+		}
+		if len(dec.Msgs) != msgsPerFrame {
+			b.Fatalf("decoded %d msgs, want %d", len(dec.Msgs), msgsPerFrame)
+		}
+	}
+}

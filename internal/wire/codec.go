@@ -13,18 +13,33 @@ import (
 // fields cannot be represented on the wire, so a successful Encode always
 // yields a body Decode accepts and maps back to the identical message.
 func Encode(m Msg) ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, 64)}
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// AppendEncode appends the encoded frame body for m to dst and returns the
+// extended slice; with a dst of sufficient capacity it performs no
+// allocation. On error dst is returned unextended. Validation is identical
+// to Encode.
+func AppendEncode(dst []byte, m Msg) ([]byte, error) {
+	if b, ok := m.(Batch); ok {
+		return AppendBatch(dst, b.Acks, b.Msgs)
+	}
+	start := len(dst)
+	e := encoder{buf: dst}
 	e.u8(Version)
 	e.u8(uint8(m.Type()))
 	switch v := m.(type) {
 	case Hello:
 		e.pid(int64(v.From), -1)
 		if v.Role != RolePeer && v.Role != RoleCtl {
-			return nil, fmt.Errorf("%w: hello role %d", ErrBadFrame, v.Role)
+			return dst, fmt.Errorf("%w: hello role %d", ErrBadFrame, v.Role)
 		}
 		e.u8(uint8(v.Role))
 		e.count(v.N, MaxProcs, "hello n")
 		e.u64(v.Session)
+		if v.MaxVersion >= VersionBatch {
+			e.u8(v.MaxVersion)
+		}
 	case Start:
 		e.u64(v.Instance)
 		e.count(v.K, MaxProcs, "start k")
@@ -70,7 +85,7 @@ func Encode(m Msg) ([]byte, error) {
 		e.count(len(v.Pairs), MaxStatsPairs, "stats pairs")
 		for _, p := range v.Pairs {
 			if len(p.Name) > MaxName {
-				return nil, fmt.Errorf("%w: stats name %d bytes", ErrTooLarge, len(p.Name))
+				return dst, fmt.Errorf("%w: stats name %d bytes", ErrTooLarge, len(p.Name))
 			}
 			e.u16(uint16(len(p.Name)))
 			e.buf = append(e.buf, p.Name...)
@@ -82,7 +97,7 @@ func Encode(m Msg) ([]byte, error) {
 		e.count(len(v.Hists), MaxHists, "metrics hists")
 		for _, h := range v.Hists {
 			if len(h.Name) > MaxName {
-				return nil, fmt.Errorf("%w: metrics name %d bytes", ErrTooLarge, len(h.Name))
+				return dst, fmt.Errorf("%w: metrics name %d bytes", ErrTooLarge, len(h.Name))
 			}
 			e.u16(uint16(len(h.Name)))
 			e.buf = append(e.buf, h.Name...)
@@ -97,13 +112,13 @@ func Encode(m Msg) ([]byte, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown message %T", ErrBadFrame, m)
+		return dst, fmt.Errorf("%w: unknown message %T", ErrBadFrame, m)
 	}
 	if e.err != nil {
-		return nil, e.err
+		return dst, e.err
 	}
-	if len(e.buf) > MaxFrame {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(e.buf))
+	if len(e.buf)-start > MaxFrame {
+		return dst, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(e.buf)-start)
 	}
 	return e.buf, nil
 }
@@ -113,10 +128,18 @@ func Encode(m Msg) ([]byte, error) {
 // exactly the length its type demands — trailing bytes are an error.
 func Decode(body []byte) (Msg, error) {
 	d := &decoder{buf: body}
-	if v := d.u8(); v != Version {
-		if d.err != nil {
-			return nil, d.err
+	v := d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if v == VersionBatch {
+		var b Batch
+		if err := DecodeBatchInto(body, &b); err != nil {
+			return nil, err
 		}
+		return b, nil
+	}
+	if v != Version {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
 	}
 	t := MsgType(d.u8())
@@ -132,6 +155,16 @@ func Decode(body []byte) (Msg, error) {
 		h.Role = role
 		h.N = d.count(MaxProcs, "hello n")
 		h.Session = d.u64()
+		h.MaxVersion = 1
+		if d.err == nil && d.off < len(d.buf) {
+			mv := d.u8()
+			if d.err == nil && mv < VersionBatch {
+				// A v1-only sender omits the byte entirely; accepting an
+				// explicit 0 or 1 would break canonical encoding.
+				return nil, fmt.Errorf("%w: hello max version %d must be omitted", ErrBadFrame, mv)
+			}
+			h.MaxVersion = mv
+		}
 		m = h
 	case TypeStart:
 		s := Start{}

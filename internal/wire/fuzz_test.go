@@ -30,8 +30,24 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, byte(TypeStats), 0, 0, 0, 0})
+	f.Add([]byte{VersionBatch, byte(TypeBatch), 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{VersionBatch, byte(TypeBatch), 0xFF, 0xFF, 0xFF, 0xFF})
+	// The reused Batch starts dirty, as a steady-state receiver's does, so
+	// stale state leaking across decodes would surface as a mismatch.
+	reused := Batch{Acks: []uint64{99, 98}, Msgs: protoMsgs(2)}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		m, err := Decode(body)
+		// DecodeBatchInto must accept exactly the batch frames Decode
+		// accepts, and map them to the identical value even into a reused
+		// struct.
+		intoErr := DecodeBatchInto(body, &reused)
+		if b, ok := m.(Batch); ok != (intoErr == nil && err == nil) {
+			t.Fatalf("Decode err=%v but DecodeBatchInto err=%v for %x", err, intoErr, body)
+		} else if ok {
+			if !reflect.DeepEqual(normalize(b), normalize(reused)) {
+				t.Fatalf("DecodeBatchInto disagrees with Decode:\n%#v\nvs\n%#v", reused, b)
+			}
+		}
 		if err != nil {
 			return
 		}

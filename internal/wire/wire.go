@@ -65,6 +65,9 @@ const (
 	TypeStats
 	TypePullMetrics
 	TypeMetrics
+	// TypeBatch is the version-2 coalesced frame: many sequenced peer
+	// messages plus a piggybacked ack vector in one write (see batch.go).
+	TypeBatch
 )
 
 // String names the type for logs and errors.
@@ -94,6 +97,8 @@ func (t MsgType) String() string {
 		return "pull-metrics"
 	case TypeMetrics:
 		return "metrics"
+	case TypeBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -133,6 +138,12 @@ type Hello struct {
 	// restarted peer's sequence space restarts too (and its old process can
 	// no longer emit duplicates).
 	Session uint64
+	// MaxVersion advertises the highest wire version the sender speaks, so
+	// peers can negotiate the batch transport (VersionBatch). Values 0 and 1
+	// both mean v1-only and are omitted on the wire — a v1 Hello has no such
+	// byte — and decode reports an absent field as 1, keeping the encoding
+	// canonical.
+	MaxVersion uint8
 }
 
 // Start asks a node to start one consensus instance with the given local

@@ -13,8 +13,9 @@ import (
 // sampleMsgs covers every frame type with representative field values.
 func sampleMsgs() []Msg {
 	return []Msg{
-		Hello{From: -1, Role: RoleCtl, N: 5},
-		Hello{From: 3, Role: RolePeer, N: 5, Session: 0xfeedface},
+		Hello{From: -1, Role: RoleCtl, N: 5, MaxVersion: 1},
+		Hello{From: 3, Role: RolePeer, N: 5, Session: 0xfeedface, MaxVersion: 1},
+		Hello{From: 3, Role: RolePeer, N: 5, Session: 0xfeedface, MaxVersion: VersionBatch},
 		Start{Instance: 42, K: 2, T: 1, Proto: 1, Ell: 0, Input: -7},
 		Start{Instance: 1<<63 + 9, K: 3, T: 2, Proto: 4, Ell: 2, Input: types.DefaultValue},
 		StartAck{Instance: 42, From: 0},
@@ -44,6 +45,18 @@ func sampleMsgs() []Msg {
 			},
 			{Name: "kset_ack_rtt_seconds"},
 		}},
+		Batch{},
+		Batch{Acks: []uint64{3, 9, 12}},
+		Batch{
+			Acks: []uint64{44},
+			Msgs: []BatchMsg{
+				ProtoMsg(Proto{Seq: 17, Instance: 42, From: 1,
+					Payload: types.Payload{Kind: types.KindEcho, Value: 9, Origin: 2}}),
+				DecideMsg(Decide{Seq: 18, Instance: 42, Node: 4, Value: 3}),
+				ProtoMsg(Proto{Seq: 19, Instance: 7, From: 0,
+					Payload: types.Payload{Kind: types.KindInput, Value: -5, Origin: 0}}),
+			},
+		},
 	}
 }
 
@@ -85,6 +98,20 @@ func normalize(m Msg) Msg {
 			if len(v.Hists[i].Buckets) == 0 {
 				v.Hists[i].Buckets = nil
 			}
+		}
+		return v
+	case Batch:
+		if len(v.Acks) == 0 {
+			v.Acks = nil
+		}
+		if len(v.Msgs) == 0 {
+			v.Msgs = nil
+		}
+		return v
+	case Hello:
+		// An absent MaxVersion decodes as 1; 0 and 1 encode identically.
+		if v.MaxVersion == 0 {
+			v.MaxVersion = 1
 		}
 		return v
 	}
@@ -132,6 +159,17 @@ func TestDecodeRejects(t *testing.T) {
 		{"bool not 0/1", mustEncodePatch(t,
 			Table{Instance: 1, K: 1, T: 0, Rows: []TableRow{{Decided: false, Value: 0}}},
 			22, 2)},
+		{"hello explicit v1 max version", append(mustEncode(t,
+			Hello{From: 0, Role: RolePeer, N: 3}), 1)},
+		{"batch wrong type byte", []byte{VersionBatch, uint8(TypeAck), 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"batch hostile ack count", []byte{VersionBatch, uint8(TypeBatch), 0xFF, 0xFF, 0xFF, 0xFF}},
+		{"batch ack count over bytes", []byte{VersionBatch, uint8(TypeBatch),
+			0, 0, 0, 2, 1, 2, 3, 4, 5, 6, 7, 8}},
+		{"batch msg count over bytes", []byte{VersionBatch, uint8(TypeBatch),
+			0, 0, 0, 0, 0, 0, 0, 3, 1, 2}},
+		{"batch bad msg kind", mustEncodePatch(t, Batch{Msgs: []BatchMsg{
+			{Kind: TypeProto, Seq: 1, Instance: 1}}}, 10, 0xEE)},
+		{"batch trailing bytes", append(mustEncode(t, Batch{Acks: []uint64{1}}), 0)},
 	}
 	for _, tc := range cases {
 		if _, err := Decode(tc.body); err == nil {
@@ -140,14 +178,20 @@ func TestDecodeRejects(t *testing.T) {
 	}
 }
 
-// mustEncodePatch encodes m and overwrites one byte, for malformed-input
-// cases that cannot be produced by Encode.
-func mustEncodePatch(t *testing.T, m Msg, off int, b byte) []byte {
+func mustEncode(t *testing.T, m Msg) []byte {
 	t.Helper()
 	body, err := Encode(m)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return body
+}
+
+// mustEncodePatch encodes m and overwrites one byte, for malformed-input
+// cases that cannot be produced by Encode.
+func mustEncodePatch(t *testing.T, m Msg, off int, b byte) []byte {
+	t.Helper()
+	body := mustEncode(t, m)
 	if off >= len(body) {
 		t.Fatalf("patch offset %d beyond body of %d bytes", off, len(body))
 	}
@@ -171,6 +215,10 @@ func TestEncodeRejects(t *testing.T) {
 		{"metrics name too long", Metrics{Hists: []Hist{{Name: string(make([]byte, MaxName+1))}}}},
 		{"metrics too many hists", Metrics{Hists: make([]Hist, MaxHists+1)}},
 		{"metrics too many buckets", Metrics{Hists: []Hist{{Name: "h", Buckets: make([]HistBucket, MaxBuckets+2)}}}},
+		{"batch too many acks", Batch{Acks: make([]uint64, MaxBatchAcks+1)}},
+		{"batch too many msgs", Batch{Msgs: protoMsgs(MaxBatchMsgs + 1)}},
+		{"batch bad msg kind", Batch{Msgs: []BatchMsg{{Kind: TypeHello}}}},
+		{"batch msg pid", Batch{Msgs: []BatchMsg{{Kind: TypeProto, From: -1}}}},
 	}
 	for _, tc := range cases {
 		if _, err := Encode(tc.m); err == nil {
