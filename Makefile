@@ -12,7 +12,7 @@ GO ?= go
 BENCH_COUNT ?= 6
 BENCH_PATTERN ?= .
 
-.PHONY: all build lint test race race-live short bench bench-sweep bench-net verify replay-corpus regen-corpus fuzz-smoke cluster-smoke figures report clean
+.PHONY: all build lint test race race-live short bench bench-sweep bench-net verify replay-corpus regen-corpus fuzz-smoke cluster-smoke acs-smoke figures report clean
 
 all: build lint test
 
@@ -38,7 +38,7 @@ race:
 # sweep engine (the worker pool behind -workers), the TCP cluster runtime
 # (including the fault-injected soak test), and the metrics registry.
 race-live:
-	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/ ./internal/sweep/ ./internal/cluster/ ./internal/obs/
+	$(GO) test -race -count=1 ./internal/mplive/ ./internal/smlive/ ./internal/sweep/ ./internal/cluster/ ./internal/acs/ ./internal/obs/
 
 short:
 	$(GO) test -short ./...
@@ -82,7 +82,10 @@ regen-corpus:
 	KSET_REGEN_TRACES=1 $(GO) test -run TestRegenerateCorpus -v ./cmd/ksetreplay/
 
 # Short fuzz pass over the trace and wire codecs (one invocation per
-# target: go fuzz allows a single -fuzz pattern match per run).
+# target: go fuzz allows a single -fuzz pattern match per run). The wire
+# seed corpus derives from the codec's sample messages, so the ACS
+# vocabulary (propose, acs-submit/ack, acs-round, log pulls) is fuzzed
+# automatically.
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzTraceDecode -fuzztime 10s ./internal/trace/
 	$(GO) test -run XXX -fuzz FuzzTraceRoundTrip -fuzztime 10s ./internal/trace/
@@ -116,6 +119,32 @@ cluster-smoke:
 	curl -fsS http://127.0.0.1:19713/metrics | grep -E 'kset_batches_sent_total [1-9]' || status=1; \
 	curl -fsS http://127.0.0.1:19713/metrics | grep -E 'kset_acks_piggybacked_total [1-9]' || status=1; \
 	kill $$pid0 $$pid1; rm -f ksetd-smoke ksetctl-smoke; exit $$status
+
+# The ordered-log acceptance run (docs/acs.md). First the race soak: a
+# 4-node loopback cluster with one node crashed, a flapping link and
+# injected transport faults closes 50 ACS rounds with byte-identical logs
+# on every survivor. Then the same shape live: four `ksetd -acs` daemons,
+# node 3 killed, 50 values appended round-robin through ksetctl (each
+# append verifies the entry landed at the same index on every survivor),
+# and a final strict tail that fails on any divergence or length mismatch.
+acs-smoke:
+	$(GO) test -race -count=1 -run TestAcsSoak -v ./internal/acs/
+	$(GO) build -o ksetd-smoke ./cmd/ksetd
+	$(GO) build -o ksetctl-smoke ./cmd/ksetctl
+	peers=127.0.0.1:19721,127.0.0.1:19722,127.0.0.1:19723,127.0.0.1:19724; \
+	./ksetd-smoke -id 3 -peers $$peers -t 1 -acs -quiet & pid3=$$!; \
+	./ksetd-smoke -id 0 -peers $$peers -t 1 -acs -quiet & pid0=$$!; \
+	./ksetd-smoke -id 1 -peers $$peers -t 1 -acs -quiet & pid1=$$!; \
+	./ksetd-smoke -id 2 -peers $$peers -t 1 -acs -quiet & pid2=$$!; \
+	sleep 1; kill $$pid3; status=0; \
+	survivors=127.0.0.1:19721,127.0.0.1:19722,127.0.0.1:19723; \
+	i=0; while [ $$i -lt 50 ]; do \
+		./ksetctl-smoke log append -peers $$survivors -node $$((i % 3)) \
+			-value $$((1000 + i)) > /dev/null || { status=1; break; }; \
+		i=$$((i + 1)); \
+	done; \
+	./ksetctl-smoke log tail -peers $$survivors -strict || status=1; \
+	kill $$pid0 $$pid1 $$pid2; rm -f ksetd-smoke ksetctl-smoke; exit $$status
 
 # Regenerate the paper's figures at n=64 into docs/figures/.
 figures:

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"kset/internal/acs"
+	"kset/internal/cluster"
+)
+
+// startAcsCluster brings up a 3-node loopback cluster with the ACS engine
+// attached to every node, as `ksetd -acs` would.
+func startAcsCluster(t *testing.T) *cluster.Loopback {
+	t.Helper()
+	lb, err := cluster.StartLoopback(cluster.LoopbackConfig{
+		N: 3, K: 1, T: 0, Seed: 21,
+		Attach: func(node *cluster.Node) {
+			if _, err := acs.New(acs.Config{Node: node}); err != nil {
+				t.Errorf("attach acs: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lb.Close)
+	return lb
+}
+
+func TestAcsPropose(t *testing.T) {
+	lb := startAcsCluster(t)
+	var out strings.Builder
+	err := run([]string{
+		"acs", "propose",
+		"-peers", strings.Join(lb.Addrs, ","),
+		"-node", "1",
+		"-value", "42",
+	}, &out)
+	if err != nil {
+		t.Fatalf("acs propose: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"node 1 accepted value 42 into round ",
+		"slot 1: IN  value 42",
+		"proposals admitted",
+		"vector identical on 3 nodes",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestLogAppendAndTail(t *testing.T) {
+	lb := startAcsCluster(t)
+	peers := strings.Join(lb.Addrs, ",")
+	for i, nodeArg := range []string{"0", "2", "1"} {
+		var out strings.Builder
+		err := run([]string{
+			"log", "append",
+			"-peers", peers,
+			"-node", nodeArg,
+			"-value", strings.Repeat("7", i+1), // 7, 77, 777
+		}, &out)
+		if err != nil {
+			t.Fatalf("log append #%d: %v\noutput:\n%s", i, err, out.String())
+		}
+		if !strings.Contains(out.String(), "identical on 3 nodes") {
+			t.Errorf("append output missing confirmation:\n%s", out.String())
+		}
+	}
+
+	var out strings.Builder
+	err := run([]string{
+		"log", "tail",
+		"-peers", peers,
+		"-strict",
+	}, &out)
+	if err != nil {
+		t.Fatalf("log tail: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"value 7\n", "value 77\n", "value 777\n",
+		"consistent on 3 nodes",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tail output missing %q:\n%s", want, got)
+		}
+	}
+
+	// A windowed tail starting past the first entry must report its start.
+	out.Reset()
+	if err := run([]string{"log", "tail", "-peers", peers, "-start", "1", "-max", "1"}, &out); err != nil {
+		t.Fatalf("windowed tail: %v", err)
+	}
+	if !strings.Contains(out.String(), "log[1:2) of 3 total") {
+		t.Errorf("windowed tail output:\n%s", out.String())
+	}
+}
+
+func TestAcsBadUsage(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{"acs"},
+		{"acs", "bogus"},
+		{"acs", "propose"}, // missing -peers
+		{"acs", "propose", "-peers", "a,b", "-node", "5"}, // node out of range
+		{"log"},
+		{"log", "bogus"},
+		{"log", "append"}, // missing -peers
+		{"log", "append", "-peers", "a,b", "-node", "-1"},
+		{"log", "tail"}, // missing -peers
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

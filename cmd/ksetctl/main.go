@@ -10,6 +10,16 @@
 //	ksetctl run -peers ... -instances 1 -inputs 4,7,2
 //	ksetctl stats -peers host0:7000,host1:7000,host2:7000
 //	ksetctl bench -loopback 3 -instances 5000 -workers 16
+//	ksetctl acs propose -peers ... -node 1 -value 42
+//	ksetctl log append -peers ... -value 42
+//	ksetctl log tail -peers ... -start 0 -strict
+//
+// acs propose submits one value to a node running with -acs, waits for the
+// assigned round to close cluster-wide, and verifies every node reports the
+// same agreed vector. log append does the same through the ordered-log lens
+// (waits until the value is logged at the same index everywhere); log tail
+// pulls a window of the ordered log from every node and verifies the copies
+// agree entry by entry.
 //
 // run exits non-zero if any node's decision table fails the checker; the
 // cluster is the system under test and ksetctl is the judge. bench is the
@@ -44,7 +54,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ksetctl <run|stats|bench> -peers ... [flags]")
+		return fmt.Errorf("usage: ksetctl <run|stats|bench|acs|log> -peers ... [flags]")
 	}
 	switch args[0] {
 	case "run":
@@ -53,8 +63,12 @@ func run(args []string, out io.Writer) error {
 		return runStats(args[1:], out)
 	case "bench":
 		return runBench(args[1:], out)
+	case "acs":
+		return runAcs(args[1:], out)
+	case "log":
+		return runLog(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run, stats, or bench)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, stats, bench, acs, or log)", args[0])
 	}
 }
 

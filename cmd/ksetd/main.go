@@ -10,10 +10,16 @@
 //	ksetd -id 1 -peers ... -listen :7000 -protocol floodmin -seed 7 \
 //	      -drop 0.1 -delay 0.2 -max-delay 5ms
 //	ksetd -id 0 -peers ... -metrics :9100 -log-level debug
+//	ksetd -id 0 -peers ... -t 1 -acs
 //
 // The -peers list must name every node in id order; entry -id is this
 // node's advertised address. Instances are started by ksetctl (or any
 // controller speaking the wire protocol).
+//
+// With -acs the node additionally runs the agreement-on-common-subset
+// engine (internal/acs): controllers can submit values with `ksetctl log
+// append` and read the resulting ordered log with `ksetctl log tail`. ACS
+// requires 2t < n, which is validated at startup.
 //
 // With -metrics ADDR the node also serves HTTP: GET /metrics returns the
 // node's counters and latency histograms in the Prometheus text exposition
@@ -35,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"kset/internal/acs"
 	"kset/internal/cluster"
 	"kset/internal/obs"
 	"kset/internal/theory"
@@ -79,6 +86,7 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- ready
 		delay    = fs.Float64("delay", 0, "probability a transmission attempt is delayed")
 		maxDelay = fs.Duration("max-delay", 20*time.Millisecond, "upper bound on injected delays")
 		wireVer  = fs.Int("wire-version", 0, "wire protocol version: 0 (default, batched) or 1 (legacy single-message frames)")
+		acsMode  = fs.Bool("acs", false, "serve the agreement-on-common-subset engine and its ordered log")
 		quiet    = fs.Bool("quiet", false, "suppress diagnostics")
 		metrics  = fs.String("metrics", "", "HTTP address serving /metrics and /healthz (empty: disabled)")
 		logLevel = fs.String("log-level", "info", "structured event log threshold: debug, info, warn, error")
@@ -92,6 +100,20 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- ready
 	addrs := splitAddrs(*peers)
 	if *n == 0 {
 		*n = len(addrs)
+	}
+	// Validate the core sizing flags up front: a bad -n/-k/-t should fail
+	// here with the flag named, not deep inside instance registration.
+	if *n <= 0 {
+		return fmt.Errorf("-n %d: cluster size must be positive (got no -peers entries?)", *n)
+	}
+	if *k <= 0 {
+		return fmt.Errorf("-k %d: agreement bound must be positive", *k)
+	}
+	if *t < 0 || *t >= *n {
+		return fmt.Errorf("-t %d: failure bound must satisfy 0 <= t < n (n=%d)", *t, *n)
+	}
+	if *acsMode && 2**t >= *n {
+		return fmt.Errorf("-acs with -t %d -n %d: acs requires 2t < n so that IN/OUT certificates cannot collide", *t, *n)
 	}
 	proto, err := cluster.ParseProtocol(*protocol)
 	if err != nil {
@@ -138,10 +160,18 @@ func run(args []string, logw io.Writer, stop <-chan struct{}, ready chan<- ready
 	if err != nil {
 		return err
 	}
+	// The engine must attach before Start: Start begins serving frames, and
+	// the ACS handlers have to be registered before the first one arrives.
+	if *acsMode {
+		if _, err := acs.New(acs.Config{Node: node, Log: events}); err != nil {
+			node.Close()
+			return err
+		}
+	}
 	if err := node.Start(); err != nil {
 		return err
 	}
-	logger.Printf("listening on %s as node %d of %d", node.Addr(), *id, *n)
+	logger.Printf("listening on %s as node %d of %d (acs=%v)", node.Addr(), *id, *n, *acsMode)
 
 	metricsAddr := ""
 	var msrv *http.Server

@@ -85,6 +85,78 @@ func TestDaemonServesControl(t *testing.T) {
 	}
 }
 
+// TestDaemonServesAcs boots a single-node daemon with -acs and drives one
+// value through submit → round closure → ordered log over the control path.
+func TestDaemonServesAcs(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan readyAddrs, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-id", "0",
+			"-peers", "127.0.0.1:1",
+			"-listen", "127.0.0.1:0",
+			"-n", "1", "-k", "1", "-t", "0",
+			"-acs",
+			"-quiet",
+		}, io.Discard, stop, ready)
+	}()
+	var addr string
+	select {
+	case got := <-ready:
+		addr = got.Node
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+
+	c, err := cluster.DialNode(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	round, err := c.AcsSubmit(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		lg, err := c.Log(0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lg.Total >= 1 {
+			le := lg.Entries[0]
+			if le.Round != round || le.Proposer != 0 || le.Value != 99 {
+				t.Fatalf("log entry %+v, want round %d proposer 0 value 99", le, round)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submitted value never reached the log")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ar, err := c.AcsRound(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Closed || len(ar.Slots) != 1 || ar.Slots[0].Status != wire.AcsIn {
+		t.Fatalf("round %d = %+v, want closed with slot 0 IN", round, ar)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 // TestMetricsEndpoint boots a daemon with -metrics, runs one instance, and
 // checks the HTTP observability surface: /healthz answers ok, /metrics is
 // parseable Prometheus text exposition and contains the decide-latency
@@ -215,20 +287,39 @@ func parseExposition(body string) error {
 	return nil
 }
 
+// TestBadFlags pins the startup validation: a nonsensical flag combination
+// must fail before the node comes up, with an error naming the offending
+// flag — not a failure deep inside instance registration.
 func TestBadFlags(t *testing.T) {
-	cases := [][]string{
-		{"-peers", ""},                           // missing peers
-		{"-peers", "a,b", "-protocol", "nope"},   // unknown protocol
-		{"-peers", "a,b", "-id", "7", "-n", "2"}, // id out of range
-		{"-peers", "a,b", "-k", "0"},             // invalid k
-		{"-peers", "a,b", "-log-level", "loud"},  // unknown log level
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the error must contain ("" = any error)
+	}{
+		{"missing peers", []string{"-peers", ""}, "-peers"},
+		{"unknown protocol", []string{"-peers", "a,b", "-protocol", "nope"}, "nope"},
+		{"id out of range", []string{"-peers", "a,b", "-id", "7", "-n", "2"}, ""},
+		{"zero k", []string{"-peers", "a,b", "-k", "0"}, "-k 0"},
+		{"negative k", []string{"-peers", "a,b", "-k", "-3"}, "-k -3"},
+		{"negative n", []string{"-peers", "a,b", "-n", "-1"}, "-n -1"},
+		{"negative t", []string{"-peers", "a,b", "-t", "-1"}, "-t -1"},
+		{"t equals n", []string{"-peers", "a,b", "-t", "2"}, "-t 2"},
+		{"t exceeds n", []string{"-peers", "a,b,c", "-n", "3", "-t", "5"}, "-t 5"},
+		{"acs needs 2t<n", []string{"-peers", "a,b", "-t", "1", "-acs"}, "2t < n"},
+		{"unknown log level", []string{"-peers", "a,b", "-log-level", "loud"}, "loud"},
 	}
-	for _, args := range cases {
-		stop := make(chan struct{})
-		close(stop)
-		if err := run(args, io.Discard, stop, nil); err == nil {
-			t.Errorf("run(%v): expected error", args)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stop := make(chan struct{})
+			close(stop)
+			err := run(tc.args, io.Discard, stop, nil)
+			if err == nil {
+				t.Fatalf("run(%v): expected error", tc.args)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
 	}
 }
 

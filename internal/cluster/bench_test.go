@@ -169,7 +169,7 @@ func BenchmarkDedupWindow(b *testing.B) {
 				}
 				for i := block; i >= 1; i-- {
 					seq := uint64(delivered + i)
-					if _, accepted := n.placeFrame(1, seq, msg); !accepted {
+					if _, accepted, _ := n.placeFrame(1, seq, msg); !accepted {
 						b.Fatalf("seq %d rejected", seq)
 					}
 				}

@@ -116,6 +116,51 @@ func (c *Client) Metrics() (wire.Metrics, error) {
 	return m, nil
 }
 
+// AcsSubmit hands one value to the node's ACS engine for inclusion in an
+// upcoming round, returning the round the value was assigned to.
+func (c *Client) AcsSubmit(v types.Value) (uint64, error) {
+	reply, err := c.roundTrip(wire.AcsSubmit{Value: v})
+	if err != nil {
+		return 0, err
+	}
+	ack, ok := reply.(wire.AcsAck)
+	if !ok {
+		return 0, fmt.Errorf("%w: acs submit reply %#v", ErrProtocol, reply)
+	}
+	if ack.Round == 0 {
+		return 0, fmt.Errorf("%w: acs submit rejected (node not serving acs?)", ErrProtocol)
+	}
+	return ack.Round, nil
+}
+
+// AcsRound pulls the node's view of one ACS round: per-proposer slot status
+// and, once closed, the agreed membership vector.
+func (c *Client) AcsRound(round uint64) (wire.AcsRound, error) {
+	reply, err := c.roundTrip(wire.PullAcsRound{Round: round})
+	if err != nil {
+		return wire.AcsRound{}, err
+	}
+	ar, ok := reply.(wire.AcsRound)
+	if !ok || ar.Round != round {
+		return wire.AcsRound{}, fmt.Errorf("%w: acs round reply %#v", ErrProtocol, reply)
+	}
+	return ar, nil
+}
+
+// Log pulls up to max ordered-log entries starting at index start, plus the
+// node's current log length.
+func (c *Client) Log(start uint64, max int) (wire.Log, error) {
+	reply, err := c.roundTrip(wire.PullLog{Start: start, Max: max})
+	if err != nil {
+		return wire.Log{}, err
+	}
+	lg, ok := reply.(wire.Log)
+	if !ok {
+		return wire.Log{}, fmt.Errorf("%w: log reply %#v", ErrProtocol, reply)
+	}
+	return lg, nil
+}
+
 // BuildRecord converts one node's decision table into the RunRecord shape
 // internal/checker validates. Undecided rows are marked faulty: in a
 // finished run the only processes without a decision are the failed ones,

@@ -35,6 +35,7 @@ type instance struct {
 	rng   *prng.Source
 
 	inbox chan delivery
+	stop  chan struct{} // closed by eviction; the run goroutine exits
 
 	mu        sync.Mutex
 	rows      []wire.TableRow // decision table, indexed by node id
@@ -71,6 +72,7 @@ func newInstance(n *Node, id uint64, k, t int, proto theory.ProtocolID, ell int,
 		proto:     factory(n.cfg.ID),
 		rng:       prng.New(n.cfg.Seed ^ id ^ 0xabcd*uint64(n.cfg.ID)),
 		inbox:     make(chan delivery, inboxDepth),
+		stop:      make(chan struct{}),
 		rows:      make([]wire.TableRow, n.cfg.N),
 		startedAt: time.Now(),
 	}, nil
@@ -85,6 +87,7 @@ func (in *instance) deliver(bm wire.BatchMsg) {
 		select {
 		case in.inbox <- delivery{from: bm.From, payload: bm.Payload}:
 		case <-in.node.done:
+		case <-in.stop:
 		}
 	case wire.TypeDecide:
 		in.recordDecision(bm.From, bm.Value)
@@ -93,33 +96,39 @@ func (in *instance) deliver(bm wire.BatchMsg) {
 
 // recordDecision fills one row of the decision table. The first announcement
 // wins; a correct node never announces twice with different values, and for
-// a faulty one any stable choice is as good as another.
+// a faulty one any stable choice is as good as another. The decide observer
+// and the table-complete eviction run after the lock is released.
 func (in *instance) recordDecision(node types.ProcessID, val types.Value) {
 	if int(node) < 0 || int(node) >= len(in.rows) {
 		return
 	}
 	in.mu.Lock()
-	defer in.mu.Unlock()
-	if !in.rows[node].Decided {
-		in.rows[node] = wire.TableRow{Decided: true, Value: val}
-		in.observeTableLocked()
+	if in.rows[node].Decided {
+		in.mu.Unlock()
+		return
 	}
+	in.rows[node] = wire.TableRow{Decided: true, Value: val}
+	done := in.observeTableLocked()
+	in.mu.Unlock()
+	in.node.notifyDecide(in, node, val, done)
 }
 
 // observeTableLocked records the start-to-complete-table latency the first
 // time every row is filled — the moment the checker could certify this
-// instance from the local view. Called with in.mu held.
-func (in *instance) observeTableLocked() {
+// instance from the local view — and reports that transition. Called with
+// in.mu held.
+func (in *instance) observeTableLocked() bool {
 	if in.tableDone {
-		return
+		return false
 	}
 	for i := range in.rows {
 		if !in.rows[i].Decided {
-			return
+			return false
 		}
 	}
 	in.tableDone = true
 	in.node.stats.tableLatency.Observe(time.Since(in.startedAt).Seconds())
+	return true
 }
 
 // run is the instance goroutine: start the protocol, then deliver inbox
@@ -136,6 +145,8 @@ func (in *instance) run(backlog []wire.BatchMsg) {
 	for {
 		select {
 		case <-in.node.done:
+			return
+		case <-in.stop:
 			return
 		case d := <-in.inbox:
 			in.recv.Add(1)
@@ -251,12 +262,13 @@ func (a *instanceAPI) Broadcast(p types.Payload) {
 // every peer so that each node can assemble the full decision table.
 func (a *instanceAPI) Decide(v types.Value) {
 	in := a.in
+	done := false
 	in.mu.Lock()
 	already := in.decided
 	if !already {
 		in.decided = true
 		in.rows[in.node.cfg.ID] = wire.TableRow{Decided: true, Value: v}
-		in.observeTableLocked()
+		done = in.observeTableLocked()
 	}
 	in.mu.Unlock()
 	if already {
@@ -272,6 +284,7 @@ func (a *instanceAPI) Decide(v types.Value) {
 	in.node.broadcastPeers(wire.BatchMsg{
 		Kind: wire.TypeDecide, Instance: in.id, From: in.node.cfg.ID, Value: v,
 	})
+	in.node.notifyDecide(in, in.node.cfg.ID, v, done)
 }
 
 // HasDecided reports whether Decide has been called.

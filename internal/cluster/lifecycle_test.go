@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"kset/internal/theory"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// TestPendingFrameBuffering drives placeFrame across many instances whose
+// frames arrive before their StartInstance: every frame must buffer, the
+// backlog handed to each instance must replay in sequence order, and the
+// transport dedup state must survive the handoff — a retransmission of a
+// buffered frame re-acks without a second delivery, before and after the
+// instance starts.
+func TestPendingFrameBuffering(t *testing.T) {
+	n := unservedNode(t, 0)
+	const (
+		first     = uint64(100)
+		instances = 20
+	)
+	// Interleave the instances' frames round-robin so each instance's
+	// backlog is built from non-adjacent transport sequence numbers: one
+	// protocol frame and one decide announcement per instance, all from
+	// peer 1, all before any Start.
+	seq := uint64(0)
+	frames := make(map[uint64][]wire.BatchMsg, instances)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < instances; i++ {
+			id := first + uint64(i)
+			seq++
+			bm := wire.BatchMsg{Kind: wire.TypeProto, Seq: seq, Instance: id, From: 1,
+				Payload: types.Payload{Kind: types.KindEcho, Value: types.Value(seq)}}
+			if pass == 1 {
+				bm = wire.BatchMsg{Kind: wire.TypeDecide, Seq: seq, Instance: id, From: 1, Value: 55}
+			}
+			inst, accepted, fresh := n.placeFrame(1, seq, bm)
+			if inst != nil || !accepted || !fresh {
+				t.Fatalf("pre-start frame seq %d: inst=%v accepted=%v fresh=%v, want nil/true/true", seq, inst, accepted, fresh)
+			}
+			frames[id] = append(frames[id], bm)
+		}
+	}
+	n.mu.Lock()
+	pendingIDs := len(n.pending)
+	n.mu.Unlock()
+	if pendingIDs != instances {
+		t.Fatalf("%d instances pending, want %d", pendingIDs, instances)
+	}
+
+	// A retransmission of a buffered frame is a duplicate: re-acked, not
+	// re-buffered.
+	dup := frames[first][0]
+	if inst, accepted, fresh := n.placeFrame(1, dup.Seq, dup); inst != nil || !accepted || fresh {
+		t.Fatalf("pre-start duplicate: inst=%v accepted=%v fresh=%v, want nil/true/false", inst, accepted, fresh)
+	}
+	n.mu.Lock()
+	buffered := len(n.pending[first])
+	n.mu.Unlock()
+	if buffered != 2 {
+		t.Fatalf("instance %d has %d buffered frames after duplicate, want 2", first, buffered)
+	}
+
+	// Start every instance through the registration path the ctl Start
+	// frame uses, capturing the backlog each one is handed.
+	for i := 0; i < instances; i++ {
+		id := first + uint64(i)
+		inst, backlog, err := n.registerInstance(id, 1, 0, theory.ProtoTrivial, 0, types.Value(7))
+		if err != nil || inst == nil {
+			t.Fatalf("register instance %d: inst=%v err=%v", id, inst, err)
+		}
+		if len(backlog) != 2 {
+			t.Fatalf("instance %d backlog has %d frames, want 2", id, len(backlog))
+		}
+		for j, bm := range backlog {
+			if want := frames[id][j]; bm.Seq != want.Seq || bm.Kind != want.Kind {
+				t.Fatalf("instance %d backlog[%d] = seq %d kind %v, want seq %d kind %v (seq-order replay)",
+					id, j, bm.Seq, bm.Kind, want.Seq, want.Kind)
+			}
+			if j > 0 && bm.Seq <= backlog[j-1].Seq {
+				t.Fatalf("instance %d backlog out of seq order: %d after %d", id, bm.Seq, backlog[j-1].Seq)
+			}
+		}
+		go inst.run(backlog)
+	}
+	n.mu.Lock()
+	leftover := len(n.pending)
+	n.mu.Unlock()
+	if leftover != 0 {
+		t.Fatalf("%d pending buffers survived registration, want 0", leftover)
+	}
+
+	// The replayed decide plus the trivial protocol's own decision complete
+	// each table (n=2), so every instance evicts itself; the archived table
+	// must show the replayed row.
+	deadline := time.Now().Add(10 * time.Second)
+	for n.ActiveInstances() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d instances still live after replay", n.ActiveInstances())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tbl, ok := n.Table(first)
+	if !ok || len(tbl.Rows) != 2 || !tbl.Rows[1].Decided || tbl.Rows[1].Value != 55 {
+		t.Fatalf("archived table for instance %d = %+v ok=%v, want replayed decide 55 in row 1", first, tbl, ok)
+	}
+
+	// Dedup survives the handoff and the eviction: the same old frames
+	// still re-ack as duplicates, with no delivery target.
+	for _, bm := range frames[first] {
+		if inst, accepted, fresh := n.placeFrame(1, bm.Seq, bm); inst != nil || !accepted || fresh {
+			t.Fatalf("post-handoff duplicate seq %d: inst=%v accepted=%v fresh=%v, want nil/true/false",
+				bm.Seq, inst, accepted, fresh)
+		}
+	}
+}
+
+// TestEvictionBoundsMemory is the bounded-memory regression test: thousands
+// of instances run to completion on one node, and the live map must shrink
+// back to zero — with the kset_instances_active gauge tracking it — while
+// the archive stays within its FIFO bound and still serves recent tables.
+func TestEvictionBoundsMemory(t *testing.T) {
+	lb, err := StartLoopback(LoopbackConfig{N: 1, K: 1, T: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	node := lb.Nodes[0]
+
+	const total = maxArchived + 500 // overflow the archive bound too
+	for id := uint64(1); id <= total; id++ {
+		err := node.StartInstance(wire.Start{
+			Instance: id, K: 1, T: 0, Proto: uint8(theory.ProtoTrivial), Input: types.Value(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for node.ActiveInstances() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d instances still live at deadline", node.ActiveInstances())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := node.Metrics().Gauge("kset_instances_active").Value(); v != 0 {
+		t.Errorf("kset_instances_active = %d after all evictions, want 0", v)
+	}
+
+	node.mu.Lock()
+	live, archivedN, orderN := len(node.instances), len(node.archive), len(node.order)
+	node.mu.Unlock()
+	if live != 0 {
+		t.Errorf("%d live instances remain", live)
+	}
+	if archivedN != maxArchived {
+		t.Errorf("archive holds %d tables, want the bound %d", archivedN, maxArchived)
+	}
+	if orderN > 2*maxArchived {
+		t.Errorf("order list holds %d ids for %d retained instances (compaction failed)", orderN, archivedN)
+	}
+
+	// Exactly maxArchived instances still serve tables (the FIFO bound
+	// dropped the other 500) and every served table carries that instance's
+	// own input. Eviction order is completion order, not id order — the
+	// instances ran concurrently — so which ids survive is not asserted.
+	served := 0
+	for id := uint64(1); id <= total; id++ {
+		tbl, ok := node.Table(id)
+		if !ok {
+			continue
+		}
+		served++
+		if len(tbl.Rows) != 1 || !tbl.Rows[0].Decided || tbl.Rows[0].Value != types.Value(id) {
+			t.Fatalf("archived table for instance %d = %+v", id, tbl)
+		}
+	}
+	if served != maxArchived {
+		t.Errorf("%d instances still served, want exactly the archive bound %d", served, maxArchived)
+	}
+	if _, ok := node.Table(total + 1); ok {
+		t.Error("never-started instance served a table")
+	}
+}

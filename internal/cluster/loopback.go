@@ -33,6 +33,10 @@ type LoopbackConfig struct {
 	// mixed-version interop tests run v1-only and batching nodes in one
 	// cluster with it. nil leaves every node on the default.
 	WireVersions []int
+	// Attach, if non-nil, runs on each node after construction and before
+	// Serve — layered services (the ACS engine) register their handlers
+	// here, before any frame can arrive.
+	Attach func(*Node)
 }
 
 // StartLoopback binds n listeners on 127.0.0.1:0 (so the port numbers are
@@ -89,6 +93,9 @@ func StartLoopback(cfg LoopbackConfig) (*Loopback, error) {
 			return nil, err
 		}
 		lb.Nodes[i] = node
+		if cfg.Attach != nil {
+			cfg.Attach(node)
+		}
 		node.Serve(listeners[i])
 	}
 	return lb, nil

@@ -85,6 +85,19 @@ type Config struct {
 // bound only exists so a hostile peer cannot grow memory without limit.
 const maxPendingFrames = 1 << 16
 
+// maxArchived bounds the evicted-instance archive: decided tables kept so
+// controllers can still pull and verify an instance after its goroutine and
+// live state are gone. Beyond the bound the oldest archives are dropped;
+// frames addressed to a dropped id are acknowledged and discarded.
+const maxArchived = 1 << 12
+
+// archived is the post-eviction residue of one instance: the final decision
+// table and the final stat counters, immutable once stored.
+type archived struct {
+	table wire.Table
+	pairs []wire.StatPair
+}
+
 // Node is one cluster member: a TCP listener, one outbound link per peer,
 // and a set of running consensus instances.
 type Node struct {
@@ -95,11 +108,21 @@ type Node struct {
 
 	mu        sync.Mutex
 	instances map[uint64]*instance
-	order     []uint64 // instance ids in creation order
+	order     []uint64 // ids of live + archived instances, creation order
 	pending   map[uint64][]wire.BatchMsg
+	archive   map[uint64]*archived
+	archOrder []uint64   // archived ids in eviction order (FIFO bound)
 	seen      []peerSeen // per-peer duplicate suppression
 	conns     []net.Conn // accepted connections, for shutdown
 	closed    bool
+
+	// Upcalls into a layered service (the ACS engine). All three are set
+	// before Serve and never mutated afterwards, so reads are race-free.
+	// They are invoked with no node or instance lock held; a handler may call
+	// back into the node (StartInstance, BroadcastPropose, ReleaseInstance).
+	proposeH  func(wire.Propose)
+	decideObs func(id uint64, node types.ProcessID, value types.Value)
+	ctlH      func(wire.Msg) (wire.Msg, bool)
 
 	// peerVer[i] is the highest wire version peer i advertised in its most
 	// recent Hello (0 until heard). Links read it lock-free on every flush to
@@ -172,6 +195,7 @@ type nodeStats struct {
 	connects        *obs.Counter
 	connFailures    *obs.Counter
 	decidesRecv     *obs.Counter
+	instancesActive *obs.Gauge
 
 	// decideLatency observes each local decision's start-to-decide time;
 	// tableLatency observes start-to-complete-table time (the point at which
@@ -201,6 +225,7 @@ func (n *Node) initStats() {
 		connects:        n.reg.Counter("kset_connects_total"),
 		connFailures:    n.reg.Counter("kset_conn_failures_total"),
 		decidesRecv:     n.reg.Counter("kset_decides_recv_total"),
+		instancesActive: n.reg.Gauge("kset_instances_active"),
 		decideLatency:   n.reg.Histogram("kset_decide_latency_seconds", lat),
 		tableLatency:    n.reg.Histogram("kset_table_latency_seconds", lat),
 		ackRTT:          n.reg.Histogram("kset_ack_rtt_seconds", lat),
@@ -258,6 +283,7 @@ func NewNode(cfg Config) (*Node, error) {
 		session:   uint64(time.Now().UnixNano()),
 		instances: make(map[uint64]*instance),
 		pending:   make(map[uint64][]wire.BatchMsg),
+		archive:   make(map[uint64]*archived),
 		seen:      make([]peerSeen, cfg.N),
 		peerVer:   make([]atomic.Int32, cfg.N),
 		links:     make([]*link, cfg.N),
@@ -512,9 +538,16 @@ func (n *Node) handleSequenced(from types.ProcessID, bm wire.BatchMsg) {
 	if bm.Kind == wire.TypeDecide {
 		n.stats.decidesRecv.Add(1)
 	}
-	inst, accepted := n.placeFrame(from, bm.Seq, bm)
+	inst, accepted, fresh := n.placeFrame(from, bm.Seq, bm)
 	if inst != nil {
 		inst.deliver(bm)
+	}
+	if fresh && bm.Kind == wire.TypePropose {
+		if h := n.proposeH; h != nil {
+			if p, ok := bm.Msg().(wire.Propose); ok {
+				h(p)
+			}
+		}
 	}
 	if accepted {
 		if l := n.links[from]; l != nil {
@@ -527,36 +560,42 @@ func (n *Node) handleSequenced(from types.ProcessID, bm wire.BatchMsg) {
 // (re-ack, no delivery), deliverable (returns the instance; delivery happens
 // outside the lock), bufferable (stored until the instance starts), or
 // droppable (pending buffer full or sequence beyond the dedup window: not
-// acknowledged, the peer will retry).
-func (n *Node) placeFrame(from types.ProcessID, seq uint64, bm wire.BatchMsg) (*instance, bool) {
+// acknowledged, the peer will retry). fresh reports a first acceptance, as
+// opposed to a re-acked duplicate. ACS proposals never route to an instance
+// (their Instance slot carries the round number); the caller hands fresh ones
+// to the propose handler. Frames for an archived instance are accepted and
+// dropped: the instance already completed, only the ack matters.
+func (n *Node) placeFrame(from types.ProcessID, seq uint64, bm wire.BatchMsg) (inst *instance, accepted, fresh bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		return nil, false
+		return nil, false, false
 	}
 	s := &n.seen[from]
 	if seq <= s.contig {
-		return nil, true // duplicate: already accepted, just re-ack
+		return nil, true, false // duplicate: already accepted, just re-ack
 	}
 	if seq > s.contig+dedupWindow {
-		return nil, false // beyond the window: drop unacked, the peer retries
+		return nil, false, false // beyond the window: drop unacked, the peer retries
 	}
 	if s.has(seq) {
-		return nil, true
+		return nil, true, false
 	}
-	inst := n.instances[bm.Instance]
-	if inst == nil {
-		if len(n.pending[bm.Instance]) >= maxPendingFrames {
-			return nil, false
+	if bm.Kind != wire.TypePropose {
+		inst = n.instances[bm.Instance]
+		if inst == nil && n.archive[bm.Instance] == nil {
+			if len(n.pending[bm.Instance]) >= maxPendingFrames {
+				return nil, false, false
+			}
+			n.pending[bm.Instance] = append(n.pending[bm.Instance], bm)
 		}
-		n.pending[bm.Instance] = append(n.pending[bm.Instance], bm)
 	}
 	s.set(seq)
 	for s.has(s.contig + 1) {
 		s.clear(s.contig + 1)
 		s.contig++
 	}
-	return inst, true
+	return inst, true, true
 }
 
 // StartInstance starts (or re-acknowledges) one consensus instance with the
@@ -596,7 +635,9 @@ func (n *Node) registerInstance(id uint64, k, t int, proto theory.ProtocolID, el
 	if n.closed {
 		return nil, nil, ErrClosed
 	}
-	if n.instances[id] != nil {
+	if n.instances[id] != nil || n.archive[id] != nil {
+		// Running, or already completed and evicted: a re-sent Start (ctl
+		// retry, ACS restart race) must not resurrect a finished instance.
 		return nil, nil, nil
 	}
 	inst, err := newInstance(n, id, k, t, proto, ell, input)
@@ -607,6 +648,7 @@ func (n *Node) registerInstance(id uint64, k, t int, proto theory.ProtocolID, el
 	n.order = append(n.order, id)
 	backlog := n.pending[id]
 	delete(n.pending, id)
+	n.stats.instancesActive.Add(1)
 	n.wg.Add(1)
 	return inst, backlog, nil
 }
@@ -616,6 +658,113 @@ func (n *Node) lookup(id uint64) *instance {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.instances[id]
+}
+
+// notifyDecide fans one decision-table row out to the registered decide
+// observer and, once the local table is complete, evicts the instance: its
+// protocol cannot be needed again (every process decided), so the live state
+// shrinks to an archived table. Called with no locks held.
+func (n *Node) notifyDecide(in *instance, node types.ProcessID, value types.Value, tableDone bool) {
+	if n.decideObs != nil {
+		n.decideObs(in.id, node, value)
+	}
+	if tableDone {
+		n.evictInstance(in)
+	}
+}
+
+// evictInstance retires one instance: its final table and counters move to
+// the bounded archive, the live entry and any pending backlog are deleted,
+// and the instance goroutine is told to exit. Safe to call concurrently and
+// repeatedly; the first caller wins.
+func (n *Node) evictInstance(in *instance) {
+	tbl := in.tableSnapshot()
+	pairs := in.statPairs()
+	n.mu.Lock()
+	if n.instances[in.id] != in {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.instances, in.id)
+	delete(n.pending, in.id)
+	n.archive[in.id] = &archived{table: tbl, pairs: pairs}
+	n.archOrder = append(n.archOrder, in.id)
+	if len(n.archOrder) > maxArchived {
+		drop := n.archOrder[0]
+		n.archOrder = append(n.archOrder[:0], n.archOrder[1:]...)
+		delete(n.archive, drop)
+	}
+	n.compactOrderLocked()
+	n.stats.instancesActive.Add(-1)
+	n.mu.Unlock()
+	close(in.stop)
+	n.log.Debug("instance evicted", obs.F("instance", in.id))
+}
+
+// ReleaseInstance retires an instance whose table will never complete
+// locally (a participant crashed): the ACS engine calls it once a round
+// closes and the instance's outcome is certified. A complete table evicts
+// itself; this is the explicit path for the rest.
+func (n *Node) ReleaseInstance(id uint64) {
+	if in := n.lookup(id); in != nil {
+		n.evictInstance(in)
+	}
+}
+
+// compactOrderLocked rebuilds the creation-order id list once more than half
+// of it points at instances that are neither live nor archived, keeping
+// Stats iteration and memory proportional to what is actually retained.
+func (n *Node) compactOrderLocked() {
+	if len(n.order) <= 2*(len(n.instances)+len(n.archive)) {
+		return
+	}
+	kept := n.order[:0]
+	for _, id := range n.order {
+		if n.instances[id] != nil || n.archive[id] != nil {
+			kept = append(kept, id)
+		}
+	}
+	n.order = kept
+}
+
+// SetProposeHandler registers the upcall receiving each first-seen ACS
+// proposal frame. Must be set before Serve; invoked with no locks held.
+func (n *Node) SetProposeHandler(h func(wire.Propose)) { n.proposeH = h }
+
+// SetDecideObserver registers the upcall receiving every decision-table row
+// as it is recorded (local decisions included). Must be set before Serve;
+// invoked with no locks held.
+func (n *Node) SetDecideObserver(f func(id uint64, node types.ProcessID, value types.Value)) {
+	n.decideObs = f
+}
+
+// SetCtlHandler registers a fallback for control requests the node itself
+// does not understand (the ACS submit/round/log vocabulary). The handler
+// returns the reply and true, or false to reject the request. Must be set
+// before Serve.
+func (n *Node) SetCtlHandler(h func(wire.Msg) (wire.Msg, bool)) { n.ctlH = h }
+
+// BroadcastPropose stamps this node as the transport sender and enqueues the
+// proposal to every peer link; the engine delivers the local copy itself.
+func (n *Node) BroadcastPropose(p wire.Propose) {
+	p.From = n.cfg.ID
+	n.broadcastPeers(wire.ProposeMsg(p))
+}
+
+// ID returns this node's process id.
+func (n *Node) ID() types.ProcessID { return n.cfg.ID }
+
+// N returns the cluster size.
+func (n *Node) N() int { return n.cfg.N }
+
+// T returns the configured fault bound.
+func (n *Node) T() int { return n.cfg.T }
+
+// ActiveInstances returns the number of live (not yet evicted) instances.
+func (n *Node) ActiveInstances() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.instances)
 }
 
 // broadcastPeers enqueues one sequenced message to every peer link.
@@ -639,14 +788,22 @@ func (n *Node) SetPeerDown(peer types.ProcessID, down bool) {
 	}
 }
 
-// Table returns the node's current decision table for an instance, or false
-// if the instance is unknown.
+// Table returns the node's current decision table for an instance — live or
+// archived — or false if the instance is unknown.
 func (n *Node) Table(id uint64) (wire.Table, bool) {
-	inst := n.lookup(id)
-	if inst == nil {
+	n.mu.Lock()
+	inst := n.instances[id]
+	arch := n.archive[id]
+	n.mu.Unlock()
+	if inst != nil {
+		return inst.tableSnapshot(), true
+	}
+	if arch == nil {
 		return wire.Table{}, false
 	}
-	return inst.tableSnapshot(), true
+	tbl := arch.table
+	tbl.Rows = append([]wire.TableRow(nil), tbl.Rows...)
+	return tbl, true
 }
 
 // Metrics returns the node's metric registry (ksetd serves it over HTTP).
@@ -724,8 +881,13 @@ func (n *Node) Stats() []wire.StatPair {
 			})
 			break
 		}
-		if inst := n.lookup(id); inst != nil {
+		n.mu.Lock()
+		inst, arch := n.instances[id], n.archive[id]
+		n.mu.Unlock()
+		if inst != nil {
 			pairs = append(pairs, inst.statPairs()...)
+		} else if arch != nil {
+			pairs = append(pairs, arch.pairs...)
 		}
 	}
 	return pairs
@@ -758,8 +920,17 @@ func (n *Node) serveCtl(conn net.Conn) {
 		case wire.PullMetrics:
 			reply = n.MetricsSnapshot()
 		default:
-			n.logf("cluster: unexpected %v frame on ctl connection", m.Type())
-			return
+			// Requests outside the node's own vocabulary go to the layered
+			// service (the ACS engine) when one is attached.
+			r, ok := wire.Msg(nil), false
+			if h := n.ctlH; h != nil {
+				r, ok = h(m)
+			}
+			if !ok {
+				n.logf("cluster: unexpected %v frame on ctl connection", m.Type())
+				return
+			}
+			reply = r
 		}
 		if err := conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout)); err != nil {
 			n.logf("cluster: ctl set write deadline: %v", err)

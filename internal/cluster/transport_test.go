@@ -257,7 +257,7 @@ func TestDedupWindowSemantics(t *testing.T) {
 			Payload: types.Payload{Kind: types.KindEcho}}
 	}
 	place := func(seq uint64) (bool, bool) {
-		inst, accepted := n.placeFrame(1, seq, msg(seq))
+		inst, accepted, _ := n.placeFrame(1, seq, msg(seq))
 		return inst != nil, accepted
 	}
 

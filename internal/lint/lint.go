@@ -148,6 +148,7 @@ func DefaultScopes() map[string][]string {
 			"kset/internal/shrink",
 			"kset/internal/wire",
 			"kset/internal/cluster",
+			"kset/internal/acs",
 		},
 		"prngflow": {
 			"kset/internal/protocols",
@@ -163,12 +164,14 @@ func DefaultScopes() map[string][]string {
 			"kset/internal/shrink",
 			"kset/internal/wire",
 			"kset/internal/cluster",
+			"kset/internal/acs",
 		},
 		"lockdiscipline": {
 			"kset/internal/mplive",
 			"kset/internal/smlive",
 			"kset/internal/smmem",
 			"kset/internal/cluster",
+			"kset/internal/acs",
 			"kset/internal/obs",
 		},
 		"errflow":       liveStack,
@@ -186,6 +189,7 @@ func DefaultScopes() map[string][]string {
 // both daemon binaries.
 var liveStack = []string{
 	"kset/internal/cluster",
+	"kset/internal/acs",
 	"kset/internal/wire",
 	"kset/internal/obs",
 	"kset/internal/mplive",

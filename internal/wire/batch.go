@@ -34,16 +34,21 @@ const (
 )
 
 // BatchMsg is one sequenced peer message inside a batch frame: a flat union
-// of Proto and Decide, so batches decode into reusable slices without boxing
-// every message into an interface. Kind selects which fields are meaningful:
+// of Proto, Decide, and Propose, so batches decode into reusable slices
+// without boxing every message into an interface. Kind selects which fields
+// are meaningful:
 //
-//   - TypeProto:  Seq, Instance, From, Payload
-//   - TypeDecide: Seq, Instance, From (the deciding node), Value
+//   - TypeProto:   Seq, Instance, From, Payload
+//   - TypeDecide:  Seq, Instance, From (the deciding node), Value
+//   - TypePropose: Seq, Instance (the ACS round), From (the transport
+//     sender), Origin (the proposer), Noop, Value
 type BatchMsg struct {
 	Kind     MsgType
 	Seq      uint64
 	Instance uint64
 	From     types.ProcessID
+	Origin   types.ProcessID
+	Noop     bool
 	Value    types.Value
 	Payload  types.Payload
 }
@@ -58,14 +63,24 @@ func DecideMsg(d Decide) BatchMsg {
 	return BatchMsg{Kind: TypeDecide, Seq: d.Seq, Instance: d.Instance, From: d.Node, Value: d.Value}
 }
 
+// ProposeMsg wraps an ACS round proposal as a batch message: the round
+// travels in the Instance slot and the proposer in Origin.
+func ProposeMsg(p Propose) BatchMsg {
+	return BatchMsg{Kind: TypePropose, Seq: p.Seq, Instance: p.Round, From: p.From,
+		Origin: p.Proposer, Noop: p.Noop, Value: p.Value}
+}
+
 // Msg converts the flat union back to the equivalent single-message frame
-// value (a Proto or Decide).
+// value (a Proto, Decide, or Propose).
 func (m BatchMsg) Msg() Msg {
 	switch m.Kind {
 	case TypeProto:
 		return Proto{Seq: m.Seq, Instance: m.Instance, From: m.From, Payload: m.Payload}
 	case TypeDecide:
 		return Decide{Seq: m.Seq, Instance: m.Instance, Node: m.From, Value: m.Value}
+	case TypePropose:
+		return Propose{Seq: m.Seq, Round: m.Instance, From: m.From,
+			Proposer: m.Origin, Noop: m.Noop, Value: m.Value}
 	}
 	return nil
 }
@@ -119,6 +134,14 @@ func AppendBatch(dst []byte, acks []uint64, msgs []BatchMsg) ([]byte, error) {
 			e.u64(m.Seq)
 			e.u64(m.Instance)
 			e.pid(int64(m.From), 0)
+			e.i64(int64(m.Value))
+		case TypePropose:
+			e.u8(uint8(TypePropose))
+			e.u64(m.Seq)
+			e.u64(m.Instance)
+			e.pid(int64(m.From), 0)
+			e.pid(int64(m.Origin), 0)
+			e.bool(m.Noop)
 			e.i64(int64(m.Value))
 		default:
 			return dst, fmt.Errorf("%w: batch message kind %v", ErrBadFrame, m.Kind)
@@ -193,6 +216,13 @@ func DecodeBatchInto(body []byte, b *Batch) error {
 				m.Seq = d.u64()
 				m.Instance = d.u64()
 				m.From = types.ProcessID(d.pid(0))
+				m.Value = types.Value(d.i64())
+			case TypePropose:
+				m.Seq = d.u64()
+				m.Instance = d.u64()
+				m.From = types.ProcessID(d.pid(0))
+				m.Origin = types.ProcessID(d.pid(0))
+				m.Noop = d.bool()
 				m.Value = types.Value(d.i64())
 			default:
 				return fmt.Errorf("%w: batch message kind %d", ErrBadFrame, uint8(m.Kind))

@@ -111,6 +111,44 @@ func AppendEncode(dst []byte, m Msg) ([]byte, error) {
 				e.u64(b.Count)
 			}
 		}
+	case Propose:
+		e.u64(v.Seq)
+		e.u64(v.Round)
+		e.pid(int64(v.From), 0)
+		e.pid(int64(v.Proposer), 0)
+		e.bool(v.Noop)
+		e.i64(int64(v.Value))
+	case AcsSubmit:
+		e.i64(int64(v.Value))
+	case AcsAck:
+		e.u64(v.Round)
+	case PullAcsRound:
+		e.u64(v.Round)
+	case AcsRound:
+		e.u64(v.Round)
+		e.bool(v.Closed)
+		e.count(len(v.Slots), MaxProcs, "acs-round slots")
+		for _, s := range v.Slots {
+			if s.Status > AcsOut {
+				return dst, fmt.Errorf("%w: acs slot status %d", ErrBadFrame, s.Status)
+			}
+			e.u8(s.Status)
+			e.bool(s.Held)
+			e.bool(s.Noop)
+			e.i64(int64(s.Value))
+		}
+	case PullLog:
+		e.u64(v.Start)
+		e.count(v.Max, MaxLogEntries, "pull-log max")
+	case Log:
+		e.u64(v.Total)
+		e.u64(v.Start)
+		e.count(len(v.Entries), MaxLogEntries, "log entries")
+		for _, le := range v.Entries {
+			e.u64(le.Round)
+			e.pid(int64(le.Proposer), 0)
+			e.i64(int64(le.Value))
+		}
 	default:
 		return dst, fmt.Errorf("%w: unknown message %T", ErrBadFrame, m)
 	}
@@ -232,6 +270,73 @@ func Decode(body []byte) (Msg, error) {
 			}
 		}
 		m = st
+	case TypePropose:
+		p := Propose{}
+		p.Seq = d.u64()
+		p.Round = d.u64()
+		p.From = types.ProcessID(d.pid(0))
+		p.Proposer = types.ProcessID(d.pid(0))
+		p.Noop = d.bool()
+		p.Value = types.Value(d.i64())
+		m = p
+	case TypeAcsSubmit:
+		m = AcsSubmit{Value: types.Value(d.i64())}
+	case TypeAcsAck:
+		m = AcsAck{Round: d.u64()}
+	case TypePullAcsRound:
+		m = PullAcsRound{Round: d.u64()}
+	case TypeAcsRound:
+		ar := AcsRound{}
+		ar.Round = d.u64()
+		ar.Closed = d.bool()
+		slots := d.count(MaxProcs, "acs-round slots")
+		if d.err == nil {
+			// Each slot is 11 bytes; reject counts the remaining bytes
+			// cannot satisfy before allocating.
+			if rem := len(d.buf) - d.off; slots*11 > rem {
+				return nil, fmt.Errorf("%w: %d acs slots in %d bytes", ErrBadFrame, slots, rem)
+			}
+			if slots > 0 {
+				ar.Slots = make([]AcsSlot, slots)
+				for i := range ar.Slots {
+					s := &ar.Slots[i]
+					s.Status = d.u8()
+					if d.err == nil && s.Status > AcsOut {
+						return nil, fmt.Errorf("%w: acs slot status %d", ErrBadFrame, s.Status)
+					}
+					s.Held = d.bool()
+					s.Noop = d.bool()
+					s.Value = types.Value(d.i64())
+				}
+			}
+		}
+		m = ar
+	case TypePullLog:
+		pl := PullLog{}
+		pl.Start = d.u64()
+		pl.Max = d.count(MaxLogEntries, "pull-log max")
+		m = pl
+	case TypeLog:
+		lg := Log{}
+		lg.Total = d.u64()
+		lg.Start = d.u64()
+		entries := d.count(MaxLogEntries, "log entries")
+		if d.err == nil {
+			// Each entry is 20 bytes; reject counts the remaining bytes
+			// cannot satisfy before allocating.
+			if rem := len(d.buf) - d.off; entries*20 > rem {
+				return nil, fmt.Errorf("%w: %d log entries in %d bytes", ErrBadFrame, entries, rem)
+			}
+			if entries > 0 {
+				lg.Entries = make([]LogEntry, entries)
+				for i := range lg.Entries {
+					lg.Entries[i].Round = d.u64()
+					lg.Entries[i].Proposer = types.ProcessID(d.pid(0))
+					lg.Entries[i].Value = types.Value(d.i64())
+				}
+			}
+		}
+		m = lg
 	case TypePullMetrics:
 		m = PullMetrics{}
 	case TypeMetrics:
@@ -323,7 +428,16 @@ type encoder struct {
 	err error
 }
 
-func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+// bool appends the canonical boolean byte (0 or 1).
+func (e *encoder) bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
 func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
 func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
 func (e *encoder) i64(v int64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(v)) }

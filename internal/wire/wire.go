@@ -37,6 +37,7 @@ const (
 	MaxName       = 1 << 8  // bytes in a counter name
 	MaxHists      = 1 << 9  // histograms in a metrics reply
 	MaxBuckets    = 1 << 6  // finite buckets in one histogram
+	MaxLogEntries = 1 << 12 // ordered-log entries in one Log reply
 )
 
 // Errors reported by the codec.
@@ -68,6 +69,16 @@ const (
 	// TypeBatch is the version-2 coalesced frame: many sequenced peer
 	// messages plus a piggybacked ack vector in one write (see batch.go).
 	TypeBatch
+	// TypePropose carries one node's proposal for an ACS round between
+	// peers (sequenced, reliable, batchable like Proto and Decide); the
+	// rest are the ACS/ordered-log control vocabulary spoken by ksetctl.
+	TypePropose
+	TypeAcsSubmit
+	TypeAcsAck
+	TypePullAcsRound
+	TypeAcsRound
+	TypePullLog
+	TypeLog
 )
 
 // String names the type for logs and errors.
@@ -99,6 +110,20 @@ func (t MsgType) String() string {
 		return "metrics"
 	case TypeBatch:
 		return "batch"
+	case TypePropose:
+		return "acs-propose"
+	case TypeAcsSubmit:
+		return "acs-submit"
+	case TypeAcsAck:
+		return "acs-ack"
+	case TypePullAcsRound:
+		return "pull-acs-round"
+	case TypeAcsRound:
+		return "acs-round"
+	case TypePullLog:
+		return "pull-log"
+	case TypeLog:
+		return "log"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -262,6 +287,88 @@ type Metrics struct {
 	Hists []Hist
 }
 
+// Propose carries one node's proposal for one ACS round. Seq sequences the
+// frame on its link exactly like Proto; From is the transport sender, which
+// is the proposer itself or a relaying node (every node re-broadcasts each
+// proposal it hears first-hand, so a proposal held by any correct node
+// eventually reaches all of them — the crash-tolerant reliable broadcast the
+// BKR reduction requires). Proposer names the round slot the value fills.
+type Propose struct {
+	Seq      uint64
+	Round    uint64
+	From     types.ProcessID
+	Proposer types.ProcessID
+	// Noop marks a placeholder proposal from a node with nothing to append
+	// this round; noop slots are resolved like any other but excluded from
+	// the ordered log.
+	Noop  bool
+	Value types.Value
+}
+
+// AcsSubmit asks a node to propose Value in its next ACS round.
+type AcsSubmit struct {
+	Value types.Value
+}
+
+// AcsAck answers an AcsSubmit with the round the value was assigned to, or
+// 0 when the engine rejected the submission (round window full).
+type AcsAck struct {
+	Round uint64
+}
+
+// PullAcsRound asks a node for its view of one ACS round.
+type PullAcsRound struct {
+	Round uint64
+}
+
+// ACS slot statuses carried in AcsRound replies.
+const (
+	AcsPending uint8 = iota // membership undecided
+	AcsIn                   // proposal is in the common subset
+	AcsOut                  // proposal is excluded
+)
+
+// AcsSlot is one proposer's slot in an ACS round view: whether the proposal
+// has been received, its value, and the slot's membership status.
+type AcsSlot struct {
+	Status uint8
+	Held   bool
+	Noop   bool
+	Value  types.Value
+}
+
+// AcsRound is a node's current view of one ACS round.
+type AcsRound struct {
+	Round  uint64
+	Closed bool
+	Slots  []AcsSlot
+}
+
+// PullLog asks a node for a slice of its ordered log: up to Max entries
+// starting at index Start.
+type PullLog struct {
+	Start uint64
+	Max   int
+}
+
+// LogEntry is one committed entry of the ordered log built by concatenating
+// ACS rounds: the round it was agreed in, the proposer whose slot it filled,
+// and the proposed value. In-round order is ascending proposer id, so the
+// whole log is deterministic given the round vectors.
+type LogEntry struct {
+	Round    uint64
+	Proposer types.ProcessID
+	Value    types.Value
+}
+
+// Log is a node's reply to PullLog: the total log length, the start index of
+// the slice, and the entries.
+type Log struct {
+	Total   uint64
+	Start   uint64
+	Entries []LogEntry
+}
+
 // Mean returns the mean observation in microseconds (0 when empty).
 func (h Hist) Mean() float64 {
 	if h.Count == 0 {
@@ -369,15 +476,22 @@ func sameBucketBounds(a, b []HistBucket) bool {
 }
 
 // Type implementations.
-func (Hello) Type() MsgType       { return TypeHello }
-func (Start) Type() MsgType       { return TypeStart }
-func (StartAck) Type() MsgType    { return TypeStartAck }
-func (Proto) Type() MsgType       { return TypeProto }
-func (Ack) Type() MsgType         { return TypeAck }
-func (Decide) Type() MsgType      { return TypeDecide }
-func (PullTable) Type() MsgType   { return TypePullTable }
-func (Table) Type() MsgType       { return TypeTable }
-func (PullStats) Type() MsgType   { return TypePullStats }
-func (Stats) Type() MsgType       { return TypeStats }
-func (PullMetrics) Type() MsgType { return TypePullMetrics }
-func (Metrics) Type() MsgType     { return TypeMetrics }
+func (Hello) Type() MsgType        { return TypeHello }
+func (Start) Type() MsgType        { return TypeStart }
+func (StartAck) Type() MsgType     { return TypeStartAck }
+func (Proto) Type() MsgType        { return TypeProto }
+func (Ack) Type() MsgType          { return TypeAck }
+func (Decide) Type() MsgType       { return TypeDecide }
+func (PullTable) Type() MsgType    { return TypePullTable }
+func (Table) Type() MsgType        { return TypeTable }
+func (PullStats) Type() MsgType    { return TypePullStats }
+func (Stats) Type() MsgType        { return TypeStats }
+func (PullMetrics) Type() MsgType  { return TypePullMetrics }
+func (Metrics) Type() MsgType      { return TypeMetrics }
+func (Propose) Type() MsgType      { return TypePropose }
+func (AcsSubmit) Type() MsgType    { return TypeAcsSubmit }
+func (AcsAck) Type() MsgType       { return TypeAcsAck }
+func (PullAcsRound) Type() MsgType { return TypePullAcsRound }
+func (AcsRound) Type() MsgType     { return TypeAcsRound }
+func (PullLog) Type() MsgType      { return TypePullLog }
+func (Log) Type() MsgType          { return TypeLog }

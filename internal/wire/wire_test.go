@@ -55,8 +55,30 @@ func sampleMsgs() []Msg {
 				DecideMsg(Decide{Seq: 18, Instance: 42, Node: 4, Value: 3}),
 				ProtoMsg(Proto{Seq: 19, Instance: 7, From: 0,
 					Payload: types.Payload{Kind: types.KindInput, Value: -5, Origin: 0}}),
+				ProposeMsg(Propose{Seq: 20, Round: 3, From: 1, Proposer: 2, Value: 11}),
 			},
 		},
+		Propose{Seq: 21, Round: 3, From: 1, Proposer: 2, Value: 11},
+		Propose{Seq: 22, Round: 4, From: 0, Proposer: 0, Noop: true},
+		AcsSubmit{Value: 77},
+		AcsSubmit{Value: -3},
+		AcsAck{Round: 5},
+		AcsAck{},
+		PullAcsRound{Round: 3},
+		AcsRound{Round: 3, Closed: true, Slots: []AcsSlot{
+			{Status: AcsIn, Held: true, Value: 11},
+			{Status: AcsOut},
+			{Status: AcsIn, Held: true, Noop: true},
+			{Status: AcsPending},
+		}},
+		AcsRound{Round: 9},
+		PullLog{Start: 2, Max: 100},
+		PullLog{},
+		Log{Total: 7, Start: 2, Entries: []LogEntry{
+			{Round: 2, Proposer: 0, Value: 5},
+			{Round: 2, Proposer: 3, Value: -9},
+		}},
+		Log{},
 	}
 }
 
@@ -106,6 +128,16 @@ func normalize(m Msg) Msg {
 		}
 		if len(v.Msgs) == 0 {
 			v.Msgs = nil
+		}
+		return v
+	case AcsRound:
+		if len(v.Slots) == 0 {
+			v.Slots = nil
+		}
+		return v
+	case Log:
+		if len(v.Entries) == 0 {
+			v.Entries = nil
 		}
 		return v
 	case Hello:
@@ -219,6 +251,14 @@ func TestEncodeRejects(t *testing.T) {
 		{"batch too many msgs", Batch{Msgs: protoMsgs(MaxBatchMsgs + 1)}},
 		{"batch bad msg kind", Batch{Msgs: []BatchMsg{{Kind: TypeHello}}}},
 		{"batch msg pid", Batch{Msgs: []BatchMsg{{Kind: TypeProto, From: -1}}}},
+		{"propose pid", Propose{From: -1}},
+		{"propose proposer pid", Propose{Proposer: MaxProcs}},
+		{"acs-round too many slots", AcsRound{Slots: make([]AcsSlot, MaxProcs+1)}},
+		{"acs-round bad status", AcsRound{Slots: []AcsSlot{{Status: AcsOut + 1}}}},
+		{"pull-log max negative", PullLog{Max: -1}},
+		{"pull-log max huge", PullLog{Max: MaxLogEntries + 1}},
+		{"log too many entries", Log{Entries: make([]LogEntry, MaxLogEntries+1)}},
+		{"log entry pid", Log{Entries: []LogEntry{{Proposer: -1}}}},
 	}
 	for _, tc := range cases {
 		if _, err := Encode(tc.m); err == nil {
