@@ -12,7 +12,7 @@ GO ?= go
 BENCH_COUNT ?= 6
 BENCH_PATTERN ?= .
 
-.PHONY: all build lint test race race-live short bench bench-sweep bench-net verify replay-corpus regen-corpus fuzz-smoke cluster-smoke acs-smoke figures report clean
+.PHONY: all build lint test race race-live short bench bench-sweep bench-net verify replay-corpus regen-corpus fuzz-smoke cluster-smoke acs-smoke sweep-smoke figures report clean
 
 all: build lint test
 
@@ -145,6 +145,33 @@ acs-smoke:
 	done; \
 	./ksetctl-smoke log tail -peers $$survivors -strict || status=1; \
 	kill $$pid0 $$pid1 $$pid2; rm -f ksetd-smoke ksetctl-smoke; exit $$status
+
+# Distributed grid-sweep acceptance run (docs/sweep.md): a live 3-node
+# loopback cluster executes a 288-cell grid sharded 4 cells at a time, with
+# one node killed one second into the sweep so its shards are reassigned;
+# then the identical grid runs in-process. The CSV and JSONL outputs must be
+# byte-identical — the determinism-by-construction contract, end to end over
+# real TCP with a mid-sweep crash. Artifacts stay in sweep-out/ for CI upload.
+sweep-smoke:
+	$(GO) build -o ksetd-smoke ./cmd/ksetd
+	$(GO) build -o ksetsweep-smoke ./cmd/ksetsweep
+	mkdir -p sweep-out
+	peers=127.0.0.1:19741,127.0.0.1:19742,127.0.0.1:19743; \
+	axes="-models mp/cr,sm/cr -validities rv1,rv2 -n 12,16 -k 2,3,4 -t 1,2,3 \
+		-faults full,none -trials 2 -runs 10"; \
+	./ksetd-smoke -id 0 -peers $$peers -k 1 -t 0 -quiet & pid0=$$!; \
+	./ksetd-smoke -id 1 -peers $$peers -k 1 -t 0 -quiet & pid1=$$!; \
+	./ksetd-smoke -id 2 -peers $$peers -k 1 -t 0 -quiet & pid2=$$!; \
+	sleep 1; status=0; \
+	( sleep 1; kill $$pid2 2>/dev/null ) & \
+	./ksetsweep-smoke -peers $$peers -shard 4 $$axes \
+		-csv sweep-out/dist.csv -jsonl sweep-out/dist.jsonl || status=1; \
+	./ksetsweep-smoke -local $$axes \
+		-csv sweep-out/local.csv -jsonl sweep-out/local.jsonl || status=1; \
+	cmp sweep-out/dist.csv sweep-out/local.csv || status=1; \
+	cmp sweep-out/dist.jsonl sweep-out/local.jsonl || status=1; \
+	kill $$pid0 $$pid1 $$pid2 2>/dev/null; rm -f ksetd-smoke ksetsweep-smoke; \
+	exit $$status
 
 # Regenerate the paper's figures at n=64 into docs/figures/.
 figures:

@@ -4,10 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
 	"kset/internal/cluster"
+	"kset/internal/grid"
 	"kset/internal/theory"
 	"kset/internal/types"
 	"kset/internal/wire"
@@ -42,6 +44,7 @@ func runBench(args []string, out io.Writer) error {
 		protocol  = fs.String("protocol", "floodmin", "protocol to run")
 		seed      = fs.Uint64("seed", 1, "loopback cluster seed")
 		timeout   = fs.Duration("timeout", 120*time.Second, "deadline for every node to decide every instance")
+		jsonlPath = fs.String("jsonl", "", "append a machine-readable bench record (grid JSONL schema) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,7 +202,52 @@ func runBench(args []string, out io.Writer) error {
 			float64(frames)/float64(totalDecisions),
 			float64(deltas["node.msgs_sent"])/float64(frames))
 	}
+	if *jsonlPath != "" {
+		rec := grid.BenchRecord{
+			Protocol:        *protocol,
+			Nodes:           n,
+			K:               *k,
+			T:               *t,
+			Instances:       *instances,
+			Workers:         *workers,
+			Decided:         int64(merged.Count),
+			ElapsedMicros:   elapsed.Microseconds(),
+			InstancesPerSec: float64(*instances) / elapsed.Seconds(),
+			Frames:          deltas["node.frames_sent"],
+			Messages:        deltas["node.msgs_sent"],
+			Batches:         deltas["node.batches_sent"],
+			AckPiggybacked:  deltas["node.acks_piggybacked"],
+		}
+		if merged.Count > 0 {
+			rec.P50Micros = int64(merged.Quantile(0.50))
+			rec.P95Micros = int64(merged.Quantile(0.95))
+			rec.P99Micros = int64(merged.Quantile(0.99))
+			rec.MaxMicros = merged.MaxMicros
+		}
+		if rec.Frames > 0 {
+			rec.FramesPerDecision = float64(rec.Frames) / float64(totalDecisions)
+			rec.MsgsPerFrame = float64(rec.Messages) / float64(rec.Frames)
+		}
+		if err := appendBenchRecord(*jsonlPath, &rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "bench record appended to %s\n", *jsonlPath)
+	}
 	return nil
+}
+
+// appendBenchRecord appends one bench record to the JSONL file, creating it
+// if needed; appending lets one results file accumulate a whole bench matrix.
+func appendBenchRecord(path string, rec *grid.BenchRecord) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := grid.WriteBenchJSONL(f, rec); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // submitRange starts instances [lo, hi) on every node over this worker's own

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"kset/internal/cluster"
+	"kset/internal/grid"
 )
 
 // startCluster brings up an in-process 3-node cluster for the command to
@@ -179,9 +183,11 @@ func TestBench(t *testing.T) {
 }
 
 func TestBenchLoopback(t *testing.T) {
+	jsonlPath := filepath.Join(t.TempDir(), "bench.jsonl")
 	var out strings.Builder
 	err := run([]string{
 		"bench", "-loopback", "2", "-instances", "50", "-workers", "4",
+		"-jsonl", jsonlPath,
 	}, &out)
 	if err != nil {
 		t.Fatalf("bench -loopback: %v\noutput:\n%s", err, out.String())
@@ -195,6 +201,29 @@ func TestBenchLoopback(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("bench output missing %q:\n%s", want, got)
 		}
+	}
+
+	// The machine-readable record mirrors the human report and shares the
+	// grid JSONL schema (kind discriminator, pinned field order).
+	data, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatalf("read bench jsonl: %v", err)
+	}
+	var rec grid.BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("unmarshal bench record: %v\n%s", err, data)
+	}
+	if rec.Kind != "bench" || rec.Nodes != 2 || rec.Instances != 50 || rec.Workers != 4 {
+		t.Errorf("bench record header: %+v", rec)
+	}
+	if rec.Protocol != "floodmin" || rec.Decided != 100 {
+		t.Errorf("bench record workload: %+v", rec)
+	}
+	if rec.ElapsedMicros <= 0 || rec.InstancesPerSec <= 0 || rec.P50Micros <= 0 {
+		t.Errorf("bench record measurements not positive: %+v", rec)
+	}
+	if rec.Frames <= 0 || rec.FramesPerDecision <= 0 {
+		t.Errorf("bench record transport deltas not positive: %+v", rec)
 	}
 }
 

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kset/internal/cluster"
+)
+
+func runSweep(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("ksetsweep %v: %v\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(b)
+}
+
+func TestLocalSweepDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-local", "-models", "mp/cr", "-validities", "rv1,rv2",
+		"-n", "4,5", "-k", "2", "-t", "1,2", "-faults", "full,none",
+		"-trials", "2", "-runs", "4", "-quiet",
+	}
+	for _, workers := range []string{"1", "8"} {
+		runSweep(t, append(args,
+			"-workers", workers,
+			"-csv", filepath.Join(dir, "w"+workers+".csv"),
+			"-jsonl", filepath.Join(dir, "w"+workers+".jsonl"))...)
+	}
+	if readFile(t, filepath.Join(dir, "w1.csv")) != readFile(t, filepath.Join(dir, "w8.csv")) {
+		t.Error("CSV differs between -workers=1 and -workers=8")
+	}
+	if readFile(t, filepath.Join(dir, "w1.jsonl")) != readFile(t, filepath.Join(dir, "w8.jsonl")) {
+		t.Error("JSONL differs between -workers=1 and -workers=8")
+	}
+	if !strings.Contains(readFile(t, filepath.Join(dir, "w1.jsonl")), `"kind":"cell"`) {
+		t.Error("JSONL records missing the kind discriminator")
+	}
+}
+
+func TestDistributedSweepMatchesLocal(t *testing.T) {
+	lb, err := cluster.StartLoopback(cluster.LoopbackConfig{N: 3, K: 1, Seed: 5})
+	if err != nil {
+		t.Fatalf("StartLoopback: %v", err)
+	}
+	defer lb.Close()
+
+	dir := t.TempDir()
+	axes := []string{
+		"-models", "mp/cr", "-validities", "rv1", "-n", "4,5", "-k", "2",
+		"-t", "1,2", "-faults", "full", "-trials", "2", "-runs", "4", "-quiet",
+	}
+	runSweep(t, append(axes, "-local",
+		"-csv", filepath.Join(dir, "local.csv"), "-jsonl", filepath.Join(dir, "local.jsonl"))...)
+	runSweep(t, append(axes, "-peers", strings.Join(lb.Addrs, ","), "-shard", "3",
+		"-csv", filepath.Join(dir, "dist.csv"), "-jsonl", filepath.Join(dir, "dist.jsonl"))...)
+
+	if readFile(t, filepath.Join(dir, "local.csv")) != readFile(t, filepath.Join(dir, "dist.csv")) {
+		t.Error("distributed CSV differs from -local")
+	}
+	if readFile(t, filepath.Join(dir, "local.jsonl")) != readFile(t, filepath.Join(dir, "dist.jsonl")) {
+		t.Error("distributed JSONL differs from -local")
+	}
+}
+
+func TestStdoutJSONLAndSummary(t *testing.T) {
+	out := runSweep(t, "-local", "-n", "4", "-runs", "2")
+	if !strings.Contains(out, `"kind":"cell"`) {
+		t.Error("default output is not JSONL")
+	}
+	if !strings.Contains(out, "sweep: ") {
+		t.Error("summary line missing")
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	for name, args := range map[string][]string{
+		"no mode":     {"-n", "4"},
+		"bad model":   {"-local", "-models", "tcp/ip"},
+		"bad fault":   {"-local", "-faults", "most"},
+		"bad n":       {"-local", "-n", "one"},
+		"n too small": {"-local", "-n", "1"},
+		"empty peers": {"-peers", " , "},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: run(%v) accepted the flags", name, args)
+		}
+	}
+}

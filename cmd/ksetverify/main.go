@@ -28,8 +28,8 @@ import (
 	"strings"
 
 	"kset/internal/adversary"
+	"kset/internal/grid"
 	"kset/internal/harness"
-	"kset/internal/prng"
 	"kset/internal/shrink"
 	"kset/internal/sweep"
 	"kset/internal/theory"
@@ -118,20 +118,16 @@ func validatePanel(out io.Writer, g *theory.Grid, runs, samples int, seed uint64
 		return 0
 	}
 
-	cells := g.SolvableCells()
-	rng := prng.New(seed + uint64(n)*1000 + uint64(g.Validity))
-	if samples > len(cells) {
-		samples = len(cells)
-	}
 	type cellJob struct {
 		c    theory.CellPoint
 		seed uint64
 		sum  *harness.Summary
 		err  error
 	}
-	jobs := make([]cellJob, samples)
-	for j, idx := range rng.Perm(len(cells))[:samples] {
-		jobs[j] = cellJob{c: cells[idx], seed: rng.Uint64()}
+	sampled := grid.SamplePanel(g, samples, seed+uint64(n)*1000+uint64(g.Validity))
+	jobs := make([]cellJob, len(sampled))
+	for j, sc := range sampled {
+		jobs[j] = cellJob{c: sc.Cell, seed: sc.Seed}
 	}
 	validate := func(j int) {
 		jb := &jobs[j]

@@ -116,6 +116,22 @@ func (c *Client) Metrics() (wire.Metrics, error) {
 	return m, nil
 }
 
+// SweepJob hands one grid-sweep shard to the node and blocks for its records.
+// The reply's record count is the node's verdict: fewer records than the job
+// asked for means the node rejected or could not complete the shard, and the
+// caller should run it elsewhere.
+func (c *Client) SweepJob(job wire.SweepJob) (wire.SweepResult, error) {
+	reply, err := c.roundTrip(job)
+	if err != nil {
+		return wire.SweepResult{}, err
+	}
+	res, ok := reply.(wire.SweepResult)
+	if !ok || res.Job != job.Job {
+		return wire.SweepResult{}, fmt.Errorf("%w: sweep reply %#v", ErrProtocol, reply)
+	}
+	return res, nil
+}
+
 // AcsSubmit hands one value to the node's ACS engine for inclusion in an
 // upcoming round, returning the round the value was assigned to.
 func (c *Client) AcsSubmit(v types.Value) (uint64, error) {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"kset/internal/obs"
+	"kset/internal/sweep"
 	"kset/internal/theory"
 	"kset/internal/types"
 	"kset/internal/wire"
@@ -134,6 +135,10 @@ type Node struct {
 	stats nodeStats
 	done  chan struct{}
 	wg    sync.WaitGroup
+
+	// sweepPool bounds the workers that execute grid-sweep cells for the
+	// sweep-job control service; concurrent jobs share the one bound.
+	sweepPool *sweep.Pool
 }
 
 // dedupWindow bounds how far above the contiguous watermark a peer's
@@ -205,6 +210,12 @@ type nodeStats struct {
 	decideLatency *obs.Histogram
 	tableLatency  *obs.Histogram
 	ackRTT        *obs.Histogram
+
+	// Grid-sweep service metrics: jobs served, cells executed, and the
+	// wall-clock latency of each cell (seconds).
+	sweepJobs        *obs.Counter
+	sweepCells       *obs.Counter
+	sweepCellLatency *obs.Histogram
 }
 
 // initStats registers the node-level metrics in the registry.
@@ -229,6 +240,10 @@ func (n *Node) initStats() {
 		decideLatency:   n.reg.Histogram("kset_decide_latency_seconds", lat),
 		tableLatency:    n.reg.Histogram("kset_table_latency_seconds", lat),
 		ackRTT:          n.reg.Histogram("kset_ack_rtt_seconds", lat),
+
+		sweepJobs:        n.reg.Counter("kset_sweep_jobs_total"),
+		sweepCells:       n.reg.Counter("kset_sweep_cells_total"),
+		sweepCellLatency: n.reg.Histogram("kset_sweep_cell_seconds", lat),
 	}
 }
 
@@ -290,6 +305,7 @@ func NewNode(cfg Config) (*Node, error) {
 		reg:       obs.NewRegistry(),
 		log:       cfg.Log.With(obs.F("node", cfg.ID)),
 		done:      make(chan struct{}),
+		sweepPool: sweep.NewPool(0),
 	}
 	n.initStats()
 	for i := 0; i < cfg.N; i++ {
@@ -919,6 +935,8 @@ func (n *Node) serveCtl(conn net.Conn) {
 			reply = wire.Stats{Pairs: n.Stats()}
 		case wire.PullMetrics:
 			reply = n.MetricsSnapshot()
+		case wire.SweepJob:
+			reply = n.serveSweepJob(v)
 		default:
 			// Requests outside the node's own vocabulary go to the layered
 			// service (the ACS engine) when one is attached.

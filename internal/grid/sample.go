@@ -1,0 +1,35 @@
+package grid
+
+import (
+	"kset/internal/prng"
+	"kset/internal/theory"
+)
+
+// SampledCell is one solvable cell drawn from a classified panel, paired with
+// the sweep seed the draw assigned it.
+type SampledCell struct {
+	Cell theory.CellPoint
+	Seed uint64
+}
+
+// SamplePanel draws up to samples solvable cells from one classified panel,
+// each with its own sweep seed, in a deterministic order: a permutation of
+// the panel's solvable cells followed by one seed draw per sample, all from a
+// PRNG seeded with rngSeed. ksetverify and ksetreport both sample panels
+// through this function, so their validation targets come from one
+// vocabulary.
+func SamplePanel(g *theory.Grid, samples int, rngSeed uint64) []SampledCell {
+	cells := g.SolvableCells()
+	if samples > len(cells) {
+		samples = len(cells)
+	}
+	if samples <= 0 {
+		return nil
+	}
+	rng := prng.New(rngSeed)
+	out := make([]SampledCell, 0, samples)
+	for _, idx := range rng.Perm(len(cells))[:samples] {
+		out = append(out, SampledCell{Cell: cells[idx], Seed: rng.Uint64()})
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package grid
+
+import (
+	"fmt"
+
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// WireJob packs the shard [first, first+count) of this spec into a sweep-job
+// frame. The spec must be valid; axis lengths fit the wire bounds because
+// MaxAxis == wire.MaxSweepAxis.
+func (s *Spec) WireJob(job, first uint64, count int) wire.SweepJob {
+	j := wire.SweepJob{
+		Job:        job,
+		Seed:       s.Seed,
+		Models:     make([]uint8, len(s.Models)),
+		Validities: make([]uint8, len(s.Validities)),
+		Ns:         append([]int(nil), s.Ns...),
+		Ks:         append([]int(nil), s.Ks...),
+		Ts:         append([]int(nil), s.Ts...),
+		Plans:      make([]uint8, len(s.Plans)),
+		Trials:     s.Trials,
+		Runs:       s.Runs,
+		First:      first,
+		Count:      count,
+	}
+	for i, m := range s.Models {
+		j.Models[i] = ModelCode(m)
+	}
+	for i, v := range s.Validities {
+		j.Validities[i] = uint8(v)
+	}
+	for i, p := range s.Plans {
+		j.Plans[i] = uint8(p)
+	}
+	return j
+}
+
+// SpecFromWire unpacks a sweep job's axes into a validated spec. The shard
+// range is the caller's to check against NumCells.
+func SpecFromWire(j wire.SweepJob) (*Spec, error) {
+	s := &Spec{
+		Models:     make([]types.Model, len(j.Models)),
+		Validities: make([]types.Validity, len(j.Validities)),
+		Ns:         append([]int(nil), j.Ns...),
+		Ks:         append([]int(nil), j.Ks...),
+		Ts:         append([]int(nil), j.Ts...),
+		Plans:      make([]FaultPlan, len(j.Plans)),
+		Trials:     j.Trials,
+		Runs:       j.Runs,
+		Seed:       j.Seed,
+	}
+	for i, code := range j.Models {
+		m, err := ModelFromCode(code)
+		if err != nil {
+			return nil, fmt.Errorf("grid: sweep job: %w", err)
+		}
+		s.Models[i] = m
+	}
+	for i, v := range j.Validities {
+		s.Validities[i] = types.Validity(v)
+	}
+	for i, p := range j.Plans {
+		s.Plans[i] = FaultPlan(p)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// statusCode maps a record status to its wire byte.
+func statusCode(status string) (uint8, error) {
+	switch status {
+	case "solvable":
+		return wire.SweepSolvable, nil
+	case "impossible":
+		return wire.SweepImpossible, nil
+	case "open":
+		return wire.SweepOpen, nil
+	case StatusInvalid:
+		return wire.SweepInvalid, nil
+	default:
+		return 0, fmt.Errorf("grid: unknown record status %q", status)
+	}
+}
+
+// statusFromCode inverts statusCode.
+func statusFromCode(code uint8) (string, error) {
+	switch code {
+	case wire.SweepSolvable:
+		return "solvable", nil
+	case wire.SweepImpossible:
+		return "impossible", nil
+	case wire.SweepOpen:
+		return "open", nil
+	case wire.SweepInvalid:
+		return StatusInvalid, nil
+	default:
+		return "", fmt.Errorf("grid: unknown record status code %d", code)
+	}
+}
+
+// RecordToWire packs one record into wire form. The conversion is lossless:
+// RecordFromWire(RecordToWire(r)) == r for every record RunCell produces,
+// which is what keeps distributed sweep output byte-identical to local runs.
+func RecordToWire(r *Record) (wire.SweepRecord, error) {
+	m, err := types.ParseModel(r.Model)
+	if err != nil {
+		return wire.SweepRecord{}, fmt.Errorf("grid: record: %w", err)
+	}
+	v, err := types.ParseValidity(r.Validity)
+	if err != nil {
+		return wire.SweepRecord{}, fmt.Errorf("grid: record: %w", err)
+	}
+	p, err := parsePlan(r.Faults)
+	if err != nil {
+		return wire.SweepRecord{}, err
+	}
+	st, err := statusCode(r.Status)
+	if err != nil {
+		return wire.SweepRecord{}, err
+	}
+	return wire.SweepRecord{
+		Cell:              r.Cell,
+		Model:             ModelCode(m),
+		Validity:          uint8(v),
+		N:                 r.N,
+		K:                 r.K,
+		T:                 r.T,
+		Plan:              uint8(p),
+		Trial:             r.Trial,
+		Seed:              r.Seed,
+		Status:            st,
+		Lemma:             r.Lemma,
+		Protocol:          r.Protocol,
+		Runs:              r.Runs,
+		Violations:        r.Violations,
+		RunErrors:         r.RunErrors,
+		TermOK:            r.TermOK,
+		AgreeOK:           r.AgreeOK,
+		ValidOK:           r.ValidOK,
+		Events:            r.Events,
+		Messages:          r.Messages,
+		MaxDistinct:       r.MaxDistinct,
+		MeanDistinctMilli: r.MeanDistinctMilli,
+		DefaultDecisions:  r.DefaultDecisions,
+		FirstViolation:    r.FirstViolation,
+	}, nil
+}
+
+// RecordFromWire unpacks one wire record.
+func RecordFromWire(w *wire.SweepRecord) (Record, error) {
+	m, err := ModelFromCode(w.Model)
+	if err != nil {
+		return Record{}, fmt.Errorf("grid: wire record: %w", err)
+	}
+	v := types.Validity(w.Validity)
+	if v < types.SV1 || v > types.WV2 {
+		return Record{}, fmt.Errorf("grid: wire record: %w: %d", types.ErrUnknownValidity, w.Validity)
+	}
+	p := FaultPlan(w.Plan)
+	if p != FaultFull && p != FaultHalf && p != FaultNone {
+		return Record{}, fmt.Errorf("grid: wire record: unknown fault plan %d", w.Plan)
+	}
+	st, err := statusFromCode(w.Status)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{
+		Kind:              "cell",
+		Cell:              w.Cell,
+		Model:             m.String(),
+		Validity:          v.String(),
+		N:                 w.N,
+		K:                 w.K,
+		T:                 w.T,
+		Faults:            p.String(),
+		Trial:             w.Trial,
+		Seed:              w.Seed,
+		Status:            st,
+		Lemma:             w.Lemma,
+		Protocol:          w.Protocol,
+		Runs:              w.Runs,
+		Violations:        w.Violations,
+		RunErrors:         w.RunErrors,
+		TermOK:            w.TermOK,
+		AgreeOK:           w.AgreeOK,
+		ValidOK:           w.ValidOK,
+		Events:            w.Events,
+		Messages:          w.Messages,
+		MaxDistinct:       w.MaxDistinct,
+		MeanDistinctMilli: w.MeanDistinctMilli,
+		DefaultDecisions:  w.DefaultDecisions,
+		FirstViolation:    w.FirstViolation,
+	}, nil
+}
+
+// RecordsToWire packs a record slice, failing on the first bad record.
+func RecordsToWire(recs []Record) ([]wire.SweepRecord, error) {
+	out := make([]wire.SweepRecord, len(recs))
+	for i := range recs {
+		w, err := RecordToWire(&recs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// RecordsFromWire unpacks a wire record slice, failing on the first bad
+// record.
+func RecordsFromWire(ws []wire.SweepRecord) ([]Record, error) {
+	out := make([]Record, len(ws))
+	for i := range ws {
+		r, err := RecordFromWire(&ws[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

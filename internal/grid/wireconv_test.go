@@ -1,0 +1,85 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+
+	"kset/internal/wire"
+)
+
+func TestSpecWireRoundTrip(t *testing.T) {
+	s := testSpec(t)
+	job := s.WireJob(3, 10, 5)
+	if job.Job != 3 || job.First != 10 || job.Count != 5 || job.Seed != s.Seed {
+		t.Fatalf("WireJob header: %+v", job)
+	}
+	got, err := SpecFromWire(job)
+	if err != nil {
+		t.Fatalf("SpecFromWire: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("spec round trip:\n got %+v\nwant %+v", got, s)
+	}
+
+	bad := job
+	bad.Models = []uint8{9}
+	if _, err := SpecFromWire(bad); err == nil {
+		t.Fatal("SpecFromWire accepted model code 9")
+	}
+	bad = job
+	bad.Runs = 0
+	if _, err := SpecFromWire(bad); err == nil {
+		t.Fatal("SpecFromWire accepted zero runs")
+	}
+}
+
+func TestRecordWireRoundTripLossless(t *testing.T) {
+	// Every record RunCell produces — solvable, impossible, open, invalid,
+	// with and without violations — must survive the wire conversion exactly,
+	// or distributed output would diverge from local output.
+	s := testSpec(t)
+	recs := s.Run(nil)
+	ws, err := RecordsToWire(recs)
+	if err != nil {
+		t.Fatalf("RecordsToWire: %v", err)
+	}
+	back, err := RecordsFromWire(ws)
+	if err != nil {
+		t.Fatalf("RecordsFromWire: %v", err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		for i := range recs {
+			if !reflect.DeepEqual(back[i], recs[i]) {
+				t.Fatalf("record %d round trip:\n got %+v\nwant %+v", i, back[i], recs[i])
+			}
+		}
+	}
+	statuses := map[string]bool{}
+	for i := range recs {
+		statuses[recs[i].Status] = true
+	}
+	if len(statuses) < 3 {
+		t.Fatalf("test grid exercised only statuses %v; widen the spec", statuses)
+	}
+}
+
+func TestRecordWireRejectsBadCodes(t *testing.T) {
+	rec := Record{Model: "nonsense", Validity: "rv1", Faults: "full", Status: "solvable"}
+	if _, err := RecordToWire(&rec); err == nil {
+		t.Fatal("RecordToWire accepted an unknown model")
+	}
+	rec = Record{Model: "mp/cr", Validity: "rv1", Faults: "full", Status: "mystery"}
+	if _, err := RecordToWire(&rec); err == nil {
+		t.Fatal("RecordToWire accepted an unknown status")
+	}
+	for name, w := range map[string]wire.SweepRecord{
+		"model":    {Model: 9, Validity: 3, Plan: 1, Status: wire.SweepSolvable},
+		"validity": {Validity: 99, Plan: 1, Status: wire.SweepSolvable},
+		"plan":     {Validity: 3, Plan: 7, Status: wire.SweepSolvable},
+		"status":   {Validity: 3, Plan: 1, Status: 0},
+	} {
+		if _, err := RecordFromWire(&w); err == nil {
+			t.Errorf("RecordFromWire accepted a bad %s", name)
+		}
+	}
+}

@@ -34,6 +34,12 @@ type MPSweep struct {
 	Patterns []InputPattern
 	// MaxEvents overrides the per-run event budget (0 = runtime default).
 	MaxEvents int
+	// FaultCap clamps the planned fault count f of every scenario: 0 keeps
+	// the planner's full randomized budget (the historical behavior), a
+	// positive cap bounds f from above, and a negative cap forces fail-free
+	// runs. The clamp applies after the planner's draws, so the scenario
+	// stream (inputs, schedulers, adversaries) is unchanged for cap 0.
+	FaultCap int
 	// HaltOnDecide runs every scenario under terminating-protocol
 	// semantics: processes stop executing once they decide. See the
 	// halting experiments for which protocols survive this.
@@ -127,6 +133,7 @@ func (s *MPSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64, s
 	case 1:
 		f = 0
 	}
+	f = clampFaults(f, s.FaultCap)
 	faulty := sc.faultyFor(n)
 	sc.perm = rng.PermInto(sc.perm, n)
 	for _, idx := range sc.perm[:f] {

@@ -91,6 +91,38 @@ func ValidateCell(m types.Model, v types.Validity, n, k, t, runs int, seed uint6
 // exec (nil = serial). The summary is identical for any executor: run seeds
 // are pre-drawn and results merge in run order.
 func ValidateCellExec(m types.Model, v types.Validity, n, k, t, runs int, seed uint64, exec Executor) (*Summary, error) {
+	return ValidateCellWith(m, v, n, k, t, CellOpts{Runs: runs, Seed: seed, Exec: exec})
+}
+
+// CellOpts configures a cell-validation sweep beyond the problem parameters.
+type CellOpts struct {
+	// Runs is the number of randomized runs (0 = sweep default).
+	Runs int
+	// Seed seeds the scenario stream.
+	Seed uint64
+	// Exec fans the runs out (nil = serial); the summary is identical for
+	// any executor.
+	Exec Executor
+	// FaultCap clamps the planned fault count of every scenario: 0 keeps
+	// the planner's full randomized budget, >0 bounds it from above, <0
+	// forces fail-free runs. See MPSweep.FaultCap.
+	FaultCap int
+}
+
+// clampFaults applies a CellOpts/sweep FaultCap to a planned fault count.
+func clampFaults(f, faultCap int) int {
+	switch {
+	case faultCap < 0:
+		return 0
+	case faultCap > 0 && f > faultCap:
+		return faultCap
+	default:
+		return f
+	}
+}
+
+// ValidateCellWith is ValidateCellExec with the full option set.
+func ValidateCellWith(m types.Model, v types.Validity, n, k, t int, o CellOpts) (*Summary, error) {
 	r := theory.Classify(m, v, n, k, t)
 	if r.Status != theory.Solvable {
 		return nil, fmt.Errorf("%w: cell %v/%v n=%d k=%d t=%d is %v", ErrNoWitness, m, v, n, k, t, r.Status)
@@ -106,9 +138,10 @@ func ValidateCellExec(m types.Model, v types.Validity, n, k, t, runs int, seed u
 			Name: name, N: n, K: k, T: t, Validity: v,
 			NewProtocol: factory,
 			Byzantine:   m.Failure == types.Byzantine,
-			Runs:        runs,
-			BaseSeed:    seed,
-			Exec:        exec,
+			Runs:        o.Runs,
+			BaseSeed:    o.Seed,
+			Exec:        o.Exec,
+			FaultCap:    o.FaultCap,
 			Spec:        trace.SpecFor(r),
 		}
 		return s.Execute(), nil
@@ -121,9 +154,10 @@ func ValidateCellExec(m types.Model, v types.Validity, n, k, t, runs int, seed u
 			Name: name, N: n, K: k, T: t, Validity: v,
 			NewProtocol: factory,
 			Byzantine:   m.Failure == types.Byzantine,
-			Runs:        runs,
-			BaseSeed:    seed,
-			Exec:        exec,
+			Runs:        o.Runs,
+			BaseSeed:    o.Seed,
+			Exec:        o.Exec,
+			FaultCap:    o.FaultCap,
 			Spec:        trace.SpecFor(r),
 		}
 		return s.Execute(), nil

@@ -33,6 +33,12 @@ type SMSweep struct {
 	Patterns []InputPattern
 	// MaxOps overrides the per-run operation budget (0 = runtime default).
 	MaxOps int
+	// FaultCap clamps the planned fault count f of every scenario: 0 keeps
+	// the planner's full randomized budget, a positive cap bounds f from
+	// above, and a negative cap forces fail-free runs. The clamp applies
+	// after the planner's draws, so the scenario stream is unchanged for
+	// cap 0.
+	FaultCap int
 	// Exec fans the runs out across workers (nil = serial). Seeds are
 	// pre-drawn and the summary merged in run order, so the result is
 	// identical for any Executor.
@@ -107,6 +113,7 @@ func (s *SMSweep) plan(rng *prng.Source, patterns []InputPattern, seed uint64, s
 	case 1:
 		f = 0
 	}
+	f = clampFaults(f, s.FaultCap)
 	faulty := sc.faultyFor(n)
 	faultyIDs := make([]types.ProcessID, 0, f)
 	sc.perm = rng.PermInto(sc.perm, n)

@@ -131,6 +131,7 @@ func DefaultScopes() map[string][]string {
 		"kset/internal/trace",
 		"kset/internal/shrink",
 		"kset/internal/wire",
+		"kset/internal/grid",
 	}
 	return map[string][]string{
 		"determinism": deterministic,
@@ -147,6 +148,7 @@ func DefaultScopes() map[string][]string {
 			"kset/internal/trace",
 			"kset/internal/shrink",
 			"kset/internal/wire",
+			"kset/internal/grid",
 			"kset/internal/cluster",
 			"kset/internal/acs",
 		},
@@ -163,6 +165,7 @@ func DefaultScopes() map[string][]string {
 			"kset/internal/trace",
 			"kset/internal/shrink",
 			"kset/internal/wire",
+			"kset/internal/grid",
 			"kset/internal/cluster",
 			"kset/internal/acs",
 		},
@@ -173,6 +176,7 @@ func DefaultScopes() map[string][]string {
 			"kset/internal/cluster",
 			"kset/internal/acs",
 			"kset/internal/obs",
+			"kset/internal/grid",
 		},
 		"errflow":       liveStack,
 		"goroutinelife": liveStack,
@@ -196,6 +200,7 @@ var liveStack = []string{
 	"kset/internal/smlive",
 	"kset/cmd/ksetd",
 	"kset/cmd/ksetctl",
+	"kset/cmd/ksetsweep",
 }
 
 // InScope reports whether import path is covered by one of the prefixes.

@@ -14,9 +14,9 @@ import (
 	"kset/internal/adversary"
 	"kset/internal/checker"
 	"kset/internal/exhaustive"
+	"kset/internal/grid"
 	"kset/internal/harness"
 	"kset/internal/mpnet"
-	"kset/internal/prng"
 	"kset/internal/protocols/mp"
 	"kset/internal/sweep"
 	"kset/internal/theory"
@@ -154,17 +154,8 @@ func writeValidation(w io.Writer, cfg Config, exec harness.Executor) error {
 	var jobs []cellJob
 	for _, f := range theory.Figures() {
 		for _, g := range theory.ComputeFigure(f.Model, cfg.N) {
-			cells := g.SolvableCells()
-			if len(cells) == 0 {
-				continue
-			}
-			rng := prng.New(cfg.Seed + uint64(f.Number)*100 + uint64(g.Validity))
-			samples := cfg.Samples
-			if samples > len(cells) {
-				samples = len(cells)
-			}
-			for _, idx := range rng.Perm(len(cells))[:samples] {
-				jobs = append(jobs, cellJob{g: g, c: cells[idx], seed: rng.Uint64()})
+			for _, sc := range grid.SamplePanel(g, cfg.Samples, cfg.Seed+uint64(f.Number)*100+uint64(g.Validity)) {
+				jobs = append(jobs, cellJob{g: g, c: sc.Cell, seed: sc.Seed})
 			}
 		}
 	}

@@ -149,6 +149,26 @@ func AppendEncode(dst []byte, m Msg) ([]byte, error) {
 			e.pid(int64(le.Proposer), 0)
 			e.i64(int64(le.Value))
 		}
+	case SweepJob:
+		e.u64(v.Job)
+		e.u64(v.Seed)
+		e.axis8(v.Models, "sweep models")
+		e.axis8(v.Validities, "sweep validities")
+		e.axisInts(v.Ns, "sweep n")
+		e.axisInts(v.Ks, "sweep k")
+		e.axisInts(v.Ts, "sweep t")
+		e.axis8(v.Plans, "sweep plans")
+		e.count(v.Trials, MaxSweepRuns, "sweep trials")
+		e.count(v.Runs, MaxSweepRuns, "sweep runs")
+		e.u64(v.First)
+		e.count(v.Count, MaxSweepCells, "sweep count")
+	case SweepResult:
+		e.u64(v.Job)
+		e.u64(v.First)
+		e.count(len(v.Records), MaxSweepCells, "sweep records")
+		for i := range v.Records {
+			e.sweepRecord(&v.Records[i])
+		}
 	default:
 		return dst, fmt.Errorf("%w: unknown message %T", ErrBadFrame, m)
 	}
@@ -337,6 +357,43 @@ func Decode(body []byte) (Msg, error) {
 			}
 		}
 		m = lg
+	case TypeSweepJob:
+		sj := SweepJob{}
+		sj.Job = d.u64()
+		sj.Seed = d.u64()
+		sj.Models = d.axis8("sweep models")
+		sj.Validities = d.axis8("sweep validities")
+		sj.Ns = d.axisInts("sweep n")
+		sj.Ks = d.axisInts("sweep k")
+		sj.Ts = d.axisInts("sweep t")
+		sj.Plans = d.axis8("sweep plans")
+		sj.Trials = d.count(MaxSweepRuns, "sweep trials")
+		sj.Runs = d.count(MaxSweepRuns, "sweep runs")
+		sj.First = d.u64()
+		sj.Count = d.count(MaxSweepCells, "sweep count")
+		m = sj
+	case TypeSweepResult:
+		sr := SweepResult{}
+		sr.Job = d.u64()
+		sr.First = d.u64()
+		records := d.count(MaxSweepCells, "sweep records")
+		if d.err == nil {
+			// Each record is at least 93 bytes; reject counts the remaining
+			// bytes cannot satisfy before allocating.
+			if rem := len(d.buf) - d.off; records*93 > rem {
+				return nil, fmt.Errorf("%w: %d sweep records in %d bytes", ErrBadFrame, records, rem)
+			}
+			if records > 0 {
+				sr.Records = make([]SweepRecord, records)
+				for i := range sr.Records {
+					d.sweepRecord(&sr.Records[i])
+					if d.err != nil {
+						break
+					}
+				}
+			}
+		}
+		m = sr
 	case TypePullMetrics:
 		m = PullMetrics{}
 	case TypeMetrics:
@@ -460,6 +517,63 @@ func (e *encoder) count(v, limit int, what string) {
 	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(v))
 }
 
+// name appends a length-prefixed string bounded by MaxName.
+func (e *encoder) name(s, what string) {
+	if len(s) > MaxName {
+		e.fail(fmt.Errorf("%w: %s of %d bytes", ErrTooLarge, what, len(s)))
+		return
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// axis8 appends one byte-coded sweep axis, bounded by MaxSweepAxis.
+func (e *encoder) axis8(vs []uint8, what string) {
+	e.count(len(vs), MaxSweepAxis, what)
+	e.buf = append(e.buf, vs...)
+}
+
+// axisInts appends one integer sweep axis; values are bounded by MaxProcs
+// like every other problem parameter on the wire.
+func (e *encoder) axisInts(vs []int, what string) {
+	e.count(len(vs), MaxSweepAxis, what)
+	for _, v := range vs {
+		e.count(v, MaxProcs, what)
+	}
+}
+
+// sweepRecord appends one sweep record in field order.
+func (e *encoder) sweepRecord(r *SweepRecord) {
+	e.u64(r.Cell)
+	e.u8(r.Model)
+	e.u8(r.Validity)
+	e.count(r.N, MaxProcs, "sweep record n")
+	e.count(r.K, MaxProcs, "sweep record k")
+	e.count(r.T, MaxProcs, "sweep record t")
+	e.u8(r.Plan)
+	e.count(r.Trial, MaxSweepRuns, "sweep record trial")
+	e.u64(r.Seed)
+	if r.Status < SweepSolvable || r.Status > SweepInvalid {
+		e.fail(fmt.Errorf("%w: sweep record status %d", ErrBadFrame, r.Status))
+		return
+	}
+	e.u8(r.Status)
+	e.name(r.Lemma, "sweep record lemma")
+	e.name(r.Protocol, "sweep record protocol")
+	e.count(r.Runs, MaxSweepRuns, "sweep record runs")
+	e.count(r.Violations, MaxSweepRuns, "sweep record violations")
+	e.count(r.RunErrors, MaxSweepRuns, "sweep record run errors")
+	e.bool(r.TermOK)
+	e.bool(r.AgreeOK)
+	e.bool(r.ValidOK)
+	e.i64(r.Events)
+	e.i64(r.Messages)
+	e.count(r.MaxDistinct, MaxProcs, "sweep record max distinct")
+	e.i64(r.MeanDistinctMilli)
+	e.i64(r.DefaultDecisions)
+	e.name(r.FirstViolation, "sweep record violation text")
+}
+
 func (e *encoder) fail(err error) {
 	if e.err == nil {
 		e.err = err
@@ -565,6 +679,70 @@ func (d *decoder) count(limit int, what string) int {
 		return 0
 	}
 	return int(v)
+}
+
+// axis8 reads one byte-coded sweep axis, bounded by MaxSweepAxis.
+func (d *decoder) axis8(what string) []uint8 {
+	n := d.count(MaxSweepAxis, what)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]uint8, n)
+	copy(out, b)
+	return out
+}
+
+// axisInts reads one integer sweep axis, each value bounded by MaxProcs.
+func (d *decoder) axisInts(what string) []int {
+	n := d.count(MaxSweepAxis, what)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if rem := len(d.buf) - d.off; n*4 > rem {
+		d.fail(fmt.Errorf("%w: %s axis of %d values in %d bytes", ErrBadFrame, what, n, rem))
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.count(MaxProcs, what)
+	}
+	return out
+}
+
+// sweepRecord reads one sweep record in field order.
+func (d *decoder) sweepRecord(r *SweepRecord) {
+	r.Cell = d.u64()
+	r.Model = d.u8()
+	r.Validity = d.u8()
+	r.N = d.count(MaxProcs, "sweep record n")
+	r.K = d.count(MaxProcs, "sweep record k")
+	r.T = d.count(MaxProcs, "sweep record t")
+	r.Plan = d.u8()
+	r.Trial = d.count(MaxSweepRuns, "sweep record trial")
+	r.Seed = d.u64()
+	r.Status = d.u8()
+	if d.err == nil && (r.Status < SweepSolvable || r.Status > SweepInvalid) {
+		d.fail(fmt.Errorf("%w: sweep record status %d", ErrBadFrame, r.Status))
+		return
+	}
+	r.Lemma = d.name()
+	r.Protocol = d.name()
+	r.Runs = d.count(MaxSweepRuns, "sweep record runs")
+	r.Violations = d.count(MaxSweepRuns, "sweep record violations")
+	r.RunErrors = d.count(MaxSweepRuns, "sweep record run errors")
+	r.TermOK = d.bool()
+	r.AgreeOK = d.bool()
+	r.ValidOK = d.bool()
+	r.Events = d.i64()
+	r.Messages = d.i64()
+	r.MaxDistinct = d.count(MaxProcs, "sweep record max distinct")
+	r.MeanDistinctMilli = d.i64()
+	r.DefaultDecisions = d.i64()
+	r.FirstViolation = d.name()
 }
 
 // name reads a length-prefixed counter name.

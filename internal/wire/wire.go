@@ -38,6 +38,9 @@ const (
 	MaxHists      = 1 << 9  // histograms in a metrics reply
 	MaxBuckets    = 1 << 6  // finite buckets in one histogram
 	MaxLogEntries = 1 << 12 // ordered-log entries in one Log reply
+	MaxSweepAxis  = 1 << 6  // values per grid axis in a sweep job
+	MaxSweepCells = 1 << 10 // cells per sweep job / records per result
+	MaxSweepRuns  = 1 << 20 // runs, trials and per-record counters in sweeps
 )
 
 // Errors reported by the codec.
@@ -79,6 +82,11 @@ const (
 	TypeAcsRound
 	TypePullLog
 	TypeLog
+	// TypeSweepJob asks a node to execute one shard of a grid sweep on a
+	// control connection; TypeSweepResult is the strict request-reply answer
+	// carrying the shard's records (see internal/grid).
+	TypeSweepJob
+	TypeSweepResult
 )
 
 // String names the type for logs and errors.
@@ -124,6 +132,10 @@ func (t MsgType) String() string {
 		return "pull-log"
 	case TypeLog:
 		return "log"
+	case TypeSweepJob:
+		return "sweep-job"
+	case TypeSweepResult:
+		return "sweep-result"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -369,6 +381,79 @@ type Log struct {
 	Entries []LogEntry
 }
 
+// SweepJob asks a node to execute the half-open cell range [First,
+// First+Count) of the grid sweep the axes describe, on a control connection.
+// Axes are carried as compact codes — models via grid.ModelCode, validities
+// as types.Validity bytes, fault plans as grid.FaultPlan bytes — and decoded
+// back into a grid.Spec by internal/grid, which owns the semantic
+// validation. The wire layer bounds every count and length.
+type SweepJob struct {
+	// Job identifies the shard for the coordinator's bookkeeping; echoed in
+	// the result.
+	Job uint64
+	// Seed is the spec's master seed; cells derive their own seeds from it.
+	Seed uint64
+	// Models..Plans are the grid axes in enumeration order.
+	Models     []uint8
+	Validities []uint8
+	Ns, Ks, Ts []int
+	Plans      []uint8
+	// Trials and Runs are the spec's per-point trial count and per-record
+	// randomized run count.
+	Trials int
+	Runs   int
+	// First and Count select the shard's cell range.
+	First uint64
+	Count int
+}
+
+// Sweep record statuses. The first three mirror theory.Status; Invalid marks
+// enumerated cells outside the model (t > n).
+const (
+	SweepSolvable uint8 = iota + 1
+	SweepImpossible
+	SweepOpen
+	SweepInvalid
+)
+
+// SweepRecord is one grid cell's result in wire form: the integer-coded
+// mirror of grid.Record. Floats never appear — the mean distinct-decision
+// count travels as fixed-point millis — so records round-trip bit-exactly
+// and distributed sweeps stay byte-identical with local ones.
+type SweepRecord struct {
+	Cell              uint64
+	Model             uint8
+	Validity          uint8
+	N, K, T           int
+	Plan              uint8
+	Trial             int
+	Seed              uint64
+	Status            uint8
+	Lemma             string
+	Protocol          string
+	Runs              int
+	Violations        int
+	RunErrors         int
+	TermOK            bool
+	AgreeOK           bool
+	ValidOK           bool
+	Events            int64
+	Messages          int64
+	MaxDistinct       int
+	MeanDistinctMilli int64
+	DefaultDecisions  int64
+	FirstViolation    string
+}
+
+// SweepResult answers a SweepJob with the shard's records in cell order. A
+// result whose record count differs from the job's Count signals the node
+// rejected or failed the shard; the coordinator reassigns it.
+type SweepResult struct {
+	Job     uint64
+	First   uint64
+	Records []SweepRecord
+}
+
 // Mean returns the mean observation in microseconds (0 when empty).
 func (h Hist) Mean() float64 {
 	if h.Count == 0 {
@@ -495,3 +580,5 @@ func (PullAcsRound) Type() MsgType { return TypePullAcsRound }
 func (AcsRound) Type() MsgType     { return TypeAcsRound }
 func (PullLog) Type() MsgType      { return TypePullLog }
 func (Log) Type() MsgType          { return TypeLog }
+func (SweepJob) Type() MsgType     { return TypeSweepJob }
+func (SweepResult) Type() MsgType  { return TypeSweepResult }

@@ -79,6 +79,43 @@ func sampleMsgs() []Msg {
 			{Round: 2, Proposer: 3, Value: -9},
 		}},
 		Log{},
+		SweepJob{
+			Job: 3, Seed: 0xdecafbad,
+			Models:     []uint8{0, 3},
+			Validities: []uint8{3, 6},
+			Ns:         []int{8, 16, 64},
+			Ks:         []int{2, 3},
+			Ts:         []int{1, 2, 4},
+			Plans:      []uint8{1, 3},
+			Trials:     2, Runs: 16,
+			First: 12, Count: 6,
+		},
+		SweepJob{Seed: 1, Trials: 1, Runs: 1},
+		SweepResult{Job: 3, First: 12, Records: []SweepRecord{
+			{
+				Cell: 12, Model: 0, Validity: 3, N: 8, K: 2, T: 1, Plan: 1,
+				Trial: 0, Seed: 0x9e3779b9, Status: SweepSolvable,
+				Lemma: "Lemma 3.1", Protocol: "FloodMin",
+				Runs: 16, TermOK: true, AgreeOK: true, ValidOK: true,
+				Events: 4096, Messages: 1024, MaxDistinct: 2,
+				MeanDistinctMilli: 1500, DefaultDecisions: 3,
+			},
+			{
+				Cell: 13, Model: 1, Validity: 1, N: 8, K: 2, T: 4, Plan: 2,
+				Trial: 1, Seed: 7, Status: SweepImpossible, Lemma: "Lemma 3.5",
+				TermOK: true, AgreeOK: true, ValidOK: true,
+			},
+			{
+				Cell: 14, Model: 3, Validity: 6, N: 4, K: 2, T: 5, Plan: 3,
+				Status: SweepInvalid, TermOK: true, AgreeOK: true, ValidOK: true,
+			},
+			{
+				Cell: 15, Model: 2, Validity: 4, N: 6, K: 3, T: 2, Plan: 1,
+				Status: SweepOpen, Runs: 8, Violations: 2, RunErrors: 1,
+				AgreeOK: true, FirstViolation: "checker: termination violated",
+			},
+		}},
+		SweepResult{Job: 4, First: 0},
 	}
 }
 
@@ -144,6 +181,31 @@ func normalize(m Msg) Msg {
 		// An absent MaxVersion decodes as 1; 0 and 1 encode identically.
 		if v.MaxVersion == 0 {
 			v.MaxVersion = 1
+		}
+		return v
+	case SweepJob:
+		if len(v.Models) == 0 {
+			v.Models = nil
+		}
+		if len(v.Validities) == 0 {
+			v.Validities = nil
+		}
+		if len(v.Ns) == 0 {
+			v.Ns = nil
+		}
+		if len(v.Ks) == 0 {
+			v.Ks = nil
+		}
+		if len(v.Ts) == 0 {
+			v.Ts = nil
+		}
+		if len(v.Plans) == 0 {
+			v.Plans = nil
+		}
+		return v
+	case SweepResult:
+		if len(v.Records) == 0 {
+			v.Records = nil
 		}
 		return v
 	}
