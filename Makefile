@@ -109,6 +109,7 @@ cluster-smoke:
 	sleep 1; status=0; \
 	curl -fsS http://127.0.0.1:19708/healthz || status=1; \
 	curl -fsS http://127.0.0.1:19708/metrics | grep -q kset_frames_sent_total || status=1; \
+	curl -fsS http://127.0.0.1:19708/metrics | grep -q kset_shard_mailbox_depth || status=1; \
 	kill $$pid; exit $$status
 	./ksetd-smoke -id 0 -peers 127.0.0.1:19711,127.0.0.1:19712 \
 		-metrics 127.0.0.1:19713 -k 1 -t 0 -quiet & pid0=$$!; \

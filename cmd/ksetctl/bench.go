@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -43,7 +44,10 @@ func runBench(args []string, out io.Writer) error {
 		t         = fs.Int("t", 0, "failure bound")
 		protocol  = fs.String("protocol", "floodmin", "protocol to run")
 		seed      = fs.Uint64("seed", 1, "loopback cluster seed")
+		shards    = fs.Int("shards", 0, "shard event loops per loopback node (0: GOMAXPROCS)")
 		timeout   = fs.Duration("timeout", 120*time.Second, "deadline for every node to decide every instance")
+		minRate   = fs.Float64("min-rate", 0, "fail if throughput falls below this many instances/s (0: no floor)")
+		maxGoros  = fs.Int("max-goroutines", 0, "with -loopback: fail if the process goroutine count ever exceeds this during the run (0: no bound)")
 		jsonlPath = fs.String("jsonl", "", "append a machine-readable bench record (grid JSONL schema) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +59,9 @@ func runBench(args []string, out io.Writer) error {
 	if *instances < 1 || *workers < 1 {
 		return fmt.Errorf("-instances %d -workers %d: need at least 1 of each", *instances, *workers)
 	}
+	if *maxGoros > 0 && *loopN == 0 {
+		return fmt.Errorf("-max-goroutines bounds the bench process itself and needs the in-process cluster: use -loopback")
+	}
 	proto, err := cluster.ParseProtocol(*protocol)
 	if err != nil {
 		return err
@@ -63,7 +70,7 @@ func runBench(args []string, out io.Writer) error {
 	addrs := splitAddrs(*peers)
 	if *loopN > 0 {
 		lb, err := cluster.StartLoopback(cluster.LoopbackConfig{
-			N: *loopN, K: *k, T: *t, Seed: *seed,
+			N: *loopN, K: *k, T: *t, Seed: *seed, Shards: *shards,
 		})
 		if err != nil {
 			return fmt.Errorf("start loopback cluster: %w", err)
@@ -119,10 +126,18 @@ func runBench(args []string, out io.Writer) error {
 	submitElapsed := time.Since(started)
 
 	// Completion: every node's decide histogram must grow by one sample per
-	// instance (each node decides each instance locally exactly once).
+	// instance (each node decides each instance locally exactly once). With
+	// -max-goroutines the poll also samples the process goroutine count at
+	// peak load: the loopback nodes run in this process, so with the sharded
+	// engine the peak stays O(nodes * shards + connections) no matter how
+	// many instances are in flight.
 	deadline := time.Now().Add(*timeout)
 	want := int64(*instances)
+	peakGoros := runtime.NumGoroutine()
 	for {
+		if g := runtime.NumGoroutine(); g > peakGoros {
+			peakGoros = g
+		}
 		counts, err := decideCounts(mon)
 		if err != nil {
 			return err
@@ -172,8 +187,20 @@ func runBench(args []string, out io.Writer) error {
 		*instances, n, *protocol, *k, *t, *workers)
 	fmt.Fprintf(out, "submitted in %v, all decided in %v\n",
 		submitElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond))
+	rate := float64(*instances) / elapsed.Seconds()
 	fmt.Fprintf(out, "throughput: %.1f instances/s (%.1f local decisions/s)\n",
-		float64(*instances)/elapsed.Seconds(), float64(totalDecisions)/elapsed.Seconds())
+		rate, float64(totalDecisions)/elapsed.Seconds())
+	if *loopN > 0 {
+		fmt.Fprintf(out, "goroutines: peak %d across the whole process (%d in-process nodes)\n",
+			peakGoros, *loopN)
+	}
+	if *maxGoros > 0 && peakGoros > *maxGoros {
+		return fmt.Errorf("bench: goroutine peak %d exceeds -max-goroutines %d (instance engine leaking goroutines?)",
+			peakGoros, *maxGoros)
+	}
+	if *minRate > 0 && rate < *minRate {
+		return fmt.Errorf("bench: throughput %.1f instances/s below -min-rate %.1f", rate, *minRate)
+	}
 	if merged.Count > 0 {
 		fmt.Fprintf(out, "decide latency (%d samples", merged.Count)
 		if prior > 0 {

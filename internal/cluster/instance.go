@@ -15,47 +15,40 @@ import (
 	"kset/internal/wire"
 )
 
-// inboxDepth buffers deliveries between the connection readers and the
-// instance goroutine. A full inbox stalls the reader (backpressure), never a
-// lock holder, so no deadlock cycle can form. The depth is sized for
-// thousands of concurrent instances per node (ksetctl bench): 256 slots is
-// ~4 KiB per instance, and the retransmit layer rides out any stall.
-const inboxDepth = 256
-
 // instance is one running consensus instance: an mpnet.Protocol driven by
-// network deliveries instead of a simulated schedule. Exactly one goroutine
-// (run) calls into the protocol, preserving mpnet's single-threaded protocol
-// contract; connection readers only feed the inbox and the decision table.
+// network deliveries instead of a simulated schedule. All protocol calls —
+// Start, Deliver, backlog replay, self-send draining — happen on the owning
+// shard's loop goroutine, preserving mpnet's single-threaded protocol
+// contract; connection readers only feed the shard mailbox and the decision
+// table. An idle instance costs a map entry, not a goroutine.
 type instance struct {
 	node  *Node
+	shard *shard
 	id    uint64
 	k, t  int
 	input types.Value
 	proto mpnet.Protocol
 	rng   *prng.Source
+	api   instanceAPI
 
-	inbox chan delivery
-	stop  chan struct{} // closed by eviction; the run goroutine exits
+	// started is owned by the shard loop: set once the protocol's Start has
+	// run. A delivery observed before it forces a start-queue drain, so the
+	// protocol never sees Deliver before Start.
+	started bool
 
 	mu        sync.Mutex
 	rows      []wire.TableRow // decision table, indexed by node id
 	decided   bool            // local process decided
 	tableDone bool            // full table observed (latency recorded once)
+	latencyUS int64           // local decision latency; stamped before decided flips
 	self      []types.Payload // pending self-deliveries (drained between events)
 
 	// startedAt is stamped at construction, before any frame can be
-	// delivered, and read from both the instance goroutine (Decide) and the
+	// delivered, and read from both the shard loop (Decide) and the
 	// connection readers (recordDecision); it is immutable thereafter.
 	startedAt time.Time
 	sent      atomic.Int64
 	recv      atomic.Int64
-	latencyUS atomic.Int64 // local decision latency; 0 until decided
-}
-
-// delivery is one remote protocol message awaiting the instance goroutine.
-type delivery struct {
-	from    types.ProcessID
-	payload types.Payload
 }
 
 func newInstance(n *Node, id uint64, k, t int, proto theory.ProtocolID, ell int, input types.Value) (*instance, error) {
@@ -63,32 +56,31 @@ func newInstance(n *Node, id uint64, k, t int, proto theory.ProtocolID, ell int,
 	if err != nil {
 		return nil, fmt.Errorf("cluster: instance %d: %w", id, err)
 	}
-	return &instance{
-		node:      n,
-		id:        id,
-		k:         k,
-		t:         t,
-		input:     input,
-		proto:     factory(n.cfg.ID),
-		rng:       prng.New(n.cfg.Seed ^ id ^ 0xabcd*uint64(n.cfg.ID)),
-		inbox:     make(chan delivery, inboxDepth),
-		stop:      make(chan struct{}),
+	in := &instance{
+		node:  n,
+		id:    id,
+		k:     k,
+		t:     t,
+		input: input,
+		proto: factory(n.cfg.ID),
+		// The seed mixes (node, instance) through splitmix64 (the same mixer
+		// grid cell seeds use): XOR/linear folding let distinct coordinate
+		// pairs cancel into identical streams.
+		rng:       prng.New(prng.MixSeed(n.cfg.Seed, uint64(n.cfg.ID), id)),
 		rows:      make([]wire.TableRow, n.cfg.N),
 		startedAt: time.Now(),
-	}, nil
+	}
+	in.api.in = in
+	return in, nil
 }
 
 // deliver routes one accepted peer message for this instance: protocol
-// messages go through the inbox to the instance goroutine; decide
-// announcements update the decision table directly.
+// messages go through the owning shard's mailbox to its loop goroutine;
+// decide announcements update the decision table directly.
 func (in *instance) deliver(bm wire.BatchMsg) {
 	switch bm.Kind {
 	case wire.TypeProto:
-		select {
-		case in.inbox <- delivery{from: bm.From, payload: bm.Payload}:
-		case <-in.node.done:
-		case <-in.stop:
-		}
+		in.shard.enqueue(shardEvent{inst: in, from: bm.From, payload: bm.Payload})
 	case wire.TypeDecide:
 		in.recordDecision(bm.From, bm.Value)
 	}
@@ -131,40 +123,33 @@ func (in *instance) observeTableLocked() bool {
 	return true
 }
 
-// run is the instance goroutine: start the protocol, then deliver inbox
-// messages until the node shuts down. Self-sends queued during a handler are
-// drained before the next network delivery, mirroring mpnet's runtime.
-func (in *instance) run(backlog []wire.BatchMsg) {
-	defer in.node.wg.Done()
-	api := &instanceAPI{in: in}
-	in.proto.Start(api)
-	in.drainSelf(api)
+// start runs the protocol's Start and replays the backlog buffered before
+// the instance was registered. Called only from the shard loop.
+func (in *instance) start(backlog []wire.BatchMsg) {
+	in.started = true
+	in.proto.Start(&in.api)
+	in.drainSelf()
 	for _, m := range backlog {
-		in.deliverBacklog(api, m)
+		in.deliverBacklog(m)
 	}
-	for {
-		select {
-		case <-in.node.done:
-			return
-		case <-in.stop:
-			return
-		case d := <-in.inbox:
-			in.recv.Add(1)
-			in.proto.Deliver(api, d.from, d.payload)
-			in.drainSelf(api)
-		}
-	}
+}
+
+// deliverProto feeds one network message to the protocol, then drains the
+// self-sends it queued, mirroring mpnet's runtime. Called only from the
+// shard loop.
+func (in *instance) deliverProto(from types.ProcessID, p types.Payload) {
+	in.recv.Add(1)
+	in.proto.Deliver(&in.api, from, p)
+	in.drainSelf()
 }
 
 // deliverBacklog replays one message that was buffered before the instance
 // started locally. Buffered messages never passed through deliver, so both
 // protocol messages and decide announcements are applied here.
-func (in *instance) deliverBacklog(api *instanceAPI, bm wire.BatchMsg) {
+func (in *instance) deliverBacklog(bm wire.BatchMsg) {
 	switch bm.Kind {
 	case wire.TypeProto:
-		in.recv.Add(1)
-		in.proto.Deliver(api, bm.From, bm.Payload)
-		in.drainSelf(api)
+		in.deliverProto(bm.From, bm.Payload)
 	case wire.TypeDecide:
 		in.recordDecision(bm.From, bm.Value)
 	}
@@ -172,7 +157,7 @@ func (in *instance) deliverBacklog(api *instanceAPI, bm wire.BatchMsg) {
 
 // drainSelf delivers self-sends queued during the previous handler, plus any
 // they generate, before the next network delivery.
-func (in *instance) drainSelf(api *instanceAPI) {
+func (in *instance) drainSelf() {
 	for {
 		in.mu.Lock()
 		if len(in.self) == 0 {
@@ -182,7 +167,7 @@ func (in *instance) drainSelf(api *instanceAPI) {
 		p := in.self[0]
 		in.self = in.self[1:]
 		in.mu.Unlock()
-		in.proto.Deliver(api, in.node.cfg.ID, p)
+		in.proto.Deliver(&in.api, in.node.cfg.ID, p)
 	}
 }
 
@@ -198,7 +183,10 @@ func (in *instance) tableSnapshot() wire.Table {
 	}
 }
 
-// statPairs reports this instance's counters in a fixed order.
+// statPairs reports this instance's counters in a fixed order. decided and
+// latency_us are read under one lock (and Decide stamps the latency before
+// flipping decided), so a pull can never observe decided=1 with a zero
+// latency torn mid-decision.
 func (in *instance) statPairs() []wire.StatPair {
 	prefix := fmt.Sprintf("inst.%d.", in.id)
 	decided := int64(0)
@@ -206,18 +194,19 @@ func (in *instance) statPairs() []wire.StatPair {
 	if in.decided {
 		decided = 1
 	}
+	latency := in.latencyUS
 	in.mu.Unlock()
 	return []wire.StatPair{
 		{Name: prefix + "sent", Value: in.sent.Load()},
 		{Name: prefix + "recv", Value: in.recv.Load()},
 		{Name: prefix + "decided", Value: decided},
-		{Name: prefix + "latency_us", Value: in.latencyUS.Load()},
+		{Name: prefix + "latency_us", Value: latency},
 	}
 }
 
 // instanceAPI adapts the cluster transport to the mpnet.API the protocol
 // implementations were written against. All methods are called from the
-// instance goroutine only.
+// owning shard's loop goroutine only.
 type instanceAPI struct {
 	in *instance
 }
@@ -259,13 +248,17 @@ func (a *instanceAPI) Broadcast(p types.Payload) {
 }
 
 // Decide records the local decision, stamps the latency, and announces it to
-// every peer so that each node can assemble the full decision table.
+// every peer so that each node can assemble the full decision table. The
+// latency is stamped under the same lock and before decided flips so a
+// concurrent statPairs pull sees either neither or both.
 func (a *instanceAPI) Decide(v types.Value) {
 	in := a.in
+	elapsed := time.Since(in.startedAt)
 	done := false
 	in.mu.Lock()
 	already := in.decided
 	if !already {
+		in.latencyUS = elapsed.Microseconds()
 		in.decided = true
 		in.rows[in.node.cfg.ID] = wire.TableRow{Decided: true, Value: v}
 		done = in.observeTableLocked()
@@ -275,8 +268,6 @@ func (a *instanceAPI) Decide(v types.Value) {
 		in.node.logf("cluster: instance %d decided twice", in.id)
 		return
 	}
-	elapsed := time.Since(in.startedAt)
-	in.latencyUS.Store(elapsed.Microseconds())
 	in.node.stats.decideLatency.Observe(elapsed.Seconds())
 	in.node.log.Info("decided",
 		obs.F("instance", in.id), obs.F("value", int64(v)),

@@ -43,10 +43,7 @@ func TestPendingFrameBuffering(t *testing.T) {
 			frames[id] = append(frames[id], bm)
 		}
 	}
-	n.mu.Lock()
-	pendingIDs := len(n.pending)
-	n.mu.Unlock()
-	if pendingIDs != instances {
+	if pendingIDs := pendingInstanceCount(n); pendingIDs != instances {
 		t.Fatalf("%d instances pending, want %d", pendingIDs, instances)
 	}
 
@@ -56,10 +53,7 @@ func TestPendingFrameBuffering(t *testing.T) {
 	if inst, accepted, fresh := n.placeFrame(1, dup.Seq, dup); inst != nil || !accepted || fresh {
 		t.Fatalf("pre-start duplicate: inst=%v accepted=%v fresh=%v, want nil/true/false", inst, accepted, fresh)
 	}
-	n.mu.Lock()
-	buffered := len(n.pending[first])
-	n.mu.Unlock()
-	if buffered != 2 {
+	if buffered := pendingFrameCount(n, first); buffered != 2 {
 		t.Fatalf("instance %d has %d buffered frames after duplicate, want 2", first, buffered)
 	}
 
@@ -83,12 +77,8 @@ func TestPendingFrameBuffering(t *testing.T) {
 				t.Fatalf("instance %d backlog out of seq order: %d after %d", id, bm.Seq, backlog[j-1].Seq)
 			}
 		}
-		go inst.run(backlog)
 	}
-	n.mu.Lock()
-	leftover := len(n.pending)
-	n.mu.Unlock()
-	if leftover != 0 {
+	if leftover := pendingInstanceCount(n); leftover != 0 {
 		t.Fatalf("%d pending buffers survived registration, want 0", leftover)
 	}
 
@@ -150,9 +140,9 @@ func TestEvictionBoundsMemory(t *testing.T) {
 		t.Errorf("kset_instances_active = %d after all evictions, want 0", v)
 	}
 
-	node.mu.Lock()
-	live, archivedN, orderN := len(node.instances), len(node.archive), len(node.order)
-	node.mu.Unlock()
+	node.regMu.Lock()
+	live, archivedN, orderN := len(node.liveIDs), len(node.archive), len(node.order)
+	node.regMu.Unlock()
 	if live != 0 {
 		t.Errorf("%d live instances remain", live)
 	}
@@ -184,4 +174,25 @@ func TestEvictionBoundsMemory(t *testing.T) {
 	if _, ok := node.Table(total + 1); ok {
 		t.Error("never-started instance served a table")
 	}
+}
+
+// pendingInstanceCount sums the distinct instance ids with buffered
+// pre-start frames across every shard.
+func pendingInstanceCount(n *Node) int {
+	total := 0
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		total += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// pendingFrameCount returns the frames buffered for one not-yet-started
+// instance id.
+func pendingFrameCount(n *Node, id uint64) int {
+	sh := n.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.pending[id])
 }

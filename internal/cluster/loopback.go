@@ -28,7 +28,9 @@ type LoopbackConfig struct {
 	Seed         uint64
 	Faults       Faults
 	Retransmit   time.Duration
-	Logf         func(format string, args ...any)
+	// Shards sets each node's Config.Shards (0: GOMAXPROCS).
+	Shards int
+	Logf   func(format string, args ...any)
 	// WireVersions, if non-nil, sets each node's Config.WireVersion — the
 	// mixed-version interop tests run v1-only and batching nodes in one
 	// cluster with it. nil leaves every node on the default.
@@ -83,6 +85,7 @@ func StartLoopback(cfg LoopbackConfig) (*Loopback, error) {
 			Faults:       cfg.Faults,
 			Retransmit:   cfg.Retransmit,
 			WireVersion:  wv,
+			Shards:       cfg.Shards,
 			Logf:         cfg.Logf,
 		})
 		if err != nil {

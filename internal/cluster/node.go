@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,10 @@ type Config struct {
 	// after that peer's Hello advertises the same), wire.Version forces
 	// legacy single-message frames. Any other value is rejected.
 	WireVersion int
+	// Shards is the number of shard event loops serving instances (instance
+	// id modulo Shards selects the owning loop). Zero selects GOMAXPROCS;
+	// negative values are rejected.
+	Shards int
 	// Logf, if non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
 	// Log, if non-nil, receives structured transport events (dials,
@@ -87,10 +92,19 @@ type Config struct {
 const maxPendingFrames = 1 << 16
 
 // maxArchived bounds the evicted-instance archive: decided tables kept so
-// controllers can still pull and verify an instance after its goroutine and
-// live state are gone. Beyond the bound the oldest archives are dropped;
-// frames addressed to a dropped id are acknowledged and discarded.
+// controllers can still pull and verify an instance after its live state is
+// gone. Beyond the bound the oldest archives are dropped; frames addressed
+// to a dropped id are acknowledged and discarded.
 const maxArchived = 1 << 12
+
+// maxRetired bounds the exact tombstone set for ids that rotated out of the
+// archive. When it fills, the set folds into retiredFloor — every id at or
+// below the highest tombstone becomes retired wholesale — trading exactness
+// for bounded memory. The fold can retire a low id that was never started;
+// a Start for it still re-acks idempotently, which is the safe direction
+// (the alternative, resurrecting completed instances, re-runs protocols and
+// re-broadcasts decides).
+const maxRetired = 1 << 16
 
 // archived is the post-eviction residue of one instance: the final decision
 // table and the final stat counters, immutable once stored.
@@ -107,15 +121,27 @@ type Node struct {
 	ln      net.Listener
 	links   []*link // indexed by peer id; links[cfg.ID] is nil
 
-	mu        sync.Mutex
-	instances map[uint64]*instance
-	order     []uint64 // ids of live + archived instances, creation order
-	pending   map[uint64][]wire.BatchMsg
-	archive   map[uint64]*archived
-	archOrder []uint64   // archived ids in eviction order (FIFO bound)
-	seen      []peerSeen // per-peer duplicate suppression
-	conns     []net.Conn // accepted connections, for shutdown
-	closed    bool
+	// shards are the instance event loops; instance id modulo len(shards)
+	// selects the owner. Live instances and pre-start frame buffers live in
+	// the shards, guarded by each shard's own mutex.
+	shards []*shard
+
+	// regMu guards the node-wide instance registry: the archive of completed
+	// instances, retired-id tombstones, live-id set, creation order, and the
+	// accepted-connection list. Lock order: shard.mu before regMu; never the
+	// reverse.
+	regMu        sync.Mutex
+	liveIDs      map[uint64]struct{} // ids currently live in some shard
+	order        []uint64            // ids of live + archived instances, creation order
+	archive      map[uint64]*archived
+	archOrder    []uint64            // archived ids in eviction order (FIFO bound)
+	retired      map[uint64]struct{} // ids rotated out of the archive
+	retiredFloor uint64              // ids <= floor are retired wholesale (fold)
+	retiredMax   uint64              // highest id ever tombstoned
+	conns        []net.Conn          // accepted connections, for shutdown
+
+	seen   []peerSeen  // per-peer duplicate suppression, each with its own lock
+	closed atomic.Bool // set by Close before done is closed
 
 	// Upcalls into a layered service (the ACS engine). All three are set
 	// before Serve and never mutated afterwards, so reads are race-free.
@@ -154,8 +180,13 @@ const dedupWindow = 1 << 16
 // peerSeen suppresses re-deliveries of retransmitted or duplicated frames
 // from one peer: contig says every sequence number in [1, contig] was
 // accepted; bits is a dedupWindow-wide ring of accept flags for the numbers
-// above it, indexed by seq modulo the window (allocated on first use).
+// above it, indexed by seq modulo the window (allocated on first use). Each
+// peer's state carries its own lock — held across the whole check-and-place
+// in placeFrame so overlapping connections from one peer cannot double-
+// deliver — and that lock is the outermost in the node's order (peerSeen.mu,
+// then shard.mu, then regMu).
 type peerSeen struct {
+	mu      sync.Mutex
 	session uint64
 	contig  uint64
 	bits    []uint64
@@ -274,6 +305,12 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Retransmit < 0 {
 		return nil, fmt.Errorf("%w: Retransmit %v must be positive (or zero for the 50ms default)", ErrBadConfig, cfg.Retransmit)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: Shards %d must be positive (or zero for the GOMAXPROCS default)", ErrBadConfig, cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = time.Second
 	}
@@ -296,9 +333,9 @@ func NewNode(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:       cfg,
 		session:   uint64(time.Now().UnixNano()),
-		instances: make(map[uint64]*instance),
-		pending:   make(map[uint64][]wire.BatchMsg),
+		liveIDs:   make(map[uint64]struct{}),
 		archive:   make(map[uint64]*archived),
+		retired:   make(map[uint64]struct{}),
 		seen:      make([]peerSeen, cfg.N),
 		peerVer:   make([]atomic.Int32, cfg.N),
 		links:     make([]*link, cfg.N),
@@ -313,6 +350,17 @@ func NewNode(cfg Config) (*Node, error) {
 			continue
 		}
 		n.links[i] = newLink(n, types.ProcessID(i), cfg.Peers[i])
+	}
+	// Shard loops start with the node, not with Serve: tests (and the sweep
+	// executor) start instances on nodes that never serve a listener. Close
+	// stops them.
+	n.shards = make([]*shard, cfg.Shards)
+	for i := range n.shards {
+		n.shards[i] = newShard(n, i)
+	}
+	for _, sh := range n.shards {
+		n.wg.Add(1)
+		go sh.loop()
 	}
 	return n, nil
 }
@@ -358,16 +406,14 @@ func (n *Node) Addr() string {
 // Close shuts the node down: stops the listener, severs every connection,
 // and waits for all goroutines to exit. Safe to call more than once.
 func (n *Node) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Swap(true) {
 		n.wg.Wait()
 		return
 	}
-	n.closed = true
+	n.regMu.Lock()
 	conns := n.conns
 	n.conns = nil
-	n.mu.Unlock()
+	n.regMu.Unlock()
 
 	close(n.done)
 	if n.ln != nil {
@@ -410,9 +456,9 @@ func (n *Node) acceptLoop() {
 // trackConn registers an accepted connection for shutdown; it reports false
 // when the node is already closed.
 func (n *Node) trackConn(conn net.Conn) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	if n.closed.Load() {
 		return false
 	}
 	n.conns = append(n.conns, conn)
@@ -420,8 +466,8 @@ func (n *Node) trackConn(conn net.Conn) bool {
 }
 
 func (n *Node) untrackConn(conn net.Conn) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
 	for i, c := range n.conns {
 		if c == conn {
 			n.conns = append(n.conns[:i], n.conns[i+1:]...)
@@ -480,9 +526,9 @@ func (n *Node) serveConn(conn net.Conn) {
 // reappears with a new process incarnation: its sequence space restarted and
 // its old process cannot emit frames anymore.
 func (n *Node) resetSeenIfNewSession(peer types.ProcessID, session uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	s := &n.seen[peer]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.session != session {
 		s.session = session
 		s.contig = 0
@@ -572,22 +618,26 @@ func (n *Node) handleSequenced(from types.ProcessID, bm wire.BatchMsg) {
 	}
 }
 
-// placeFrame decides one message's fate under the node lock: duplicate
-// (re-ack, no delivery), deliverable (returns the instance; delivery happens
-// outside the lock), bufferable (stored until the instance starts), or
-// droppable (pending buffer full or sequence beyond the dedup window: not
-// acknowledged, the peer will retry). fresh reports a first acceptance, as
-// opposed to a re-acked duplicate. ACS proposals never route to an instance
-// (their Instance slot carries the round number); the caller hands fresh ones
-// to the propose handler. Frames for an archived instance are accepted and
-// dropped: the instance already completed, only the ack matters.
+// placeFrame decides one message's fate under the sender's dedup lock:
+// duplicate (re-ack, no delivery), deliverable (returns the instance;
+// delivery happens outside every lock), bufferable (stored in the owning
+// shard until the instance starts), or droppable (pending buffer full or
+// sequence beyond the dedup window: not acknowledged, the peer will retry).
+// fresh reports a first acceptance, as opposed to a re-acked duplicate. ACS
+// proposals never route to an instance (their Instance slot carries the
+// round number); the caller hands fresh ones to the propose handler. Frames
+// for a completed instance — archived or rotated into the tombstone set —
+// are accepted and dropped: the instance already finished, only the ack
+// matters. Holding the per-peer lock across the whole check-and-place keeps
+// check+buffer+mark atomic, so frames from different peers place in
+// parallel while one peer's retransmissions cannot double-deliver.
 func (n *Node) placeFrame(from types.ProcessID, seq uint64, bm wire.BatchMsg) (inst *instance, accepted, fresh bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
+	s := &n.seen[from]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n.closed.Load() {
 		return nil, false, false
 	}
-	s := &n.seen[from]
 	if seq <= s.contig {
 		return nil, true, false // duplicate: already accepted, just re-ack
 	}
@@ -598,13 +648,17 @@ func (n *Node) placeFrame(from types.ProcessID, seq uint64, bm wire.BatchMsg) (i
 		return nil, true, false
 	}
 	if bm.Kind != wire.TypePropose {
-		inst = n.instances[bm.Instance]
-		if inst == nil && n.archive[bm.Instance] == nil {
-			if len(n.pending[bm.Instance]) >= maxPendingFrames {
+		sh := n.shardFor(bm.Instance)
+		sh.mu.Lock()
+		inst = sh.instances[bm.Instance]
+		if inst == nil && !n.completedInstance(bm.Instance) {
+			if len(sh.pending[bm.Instance]) >= maxPendingFrames {
+				sh.mu.Unlock()
 				return nil, false, false
 			}
-			n.pending[bm.Instance] = append(n.pending[bm.Instance], bm)
+			sh.pending[bm.Instance] = append(sh.pending[bm.Instance], bm)
 		}
+		sh.mu.Unlock()
 	}
 	s.set(seq)
 	for s.has(s.contig + 1) {
@@ -612,6 +666,42 @@ func (n *Node) placeFrame(from types.ProcessID, seq uint64, bm wire.BatchMsg) (i
 		s.contig++
 	}
 	return inst, true, true
+}
+
+// completedInstance reports whether id already finished on this node —
+// archived, or rotated out of the archive into the tombstone set.
+func (n *Node) completedInstance(id uint64) bool {
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	return n.archive[id] != nil || n.retiredLocked(id)
+}
+
+// retiredLocked reports whether id rotated out of the bounded archive.
+// Called with regMu held.
+func (n *Node) retiredLocked(id uint64) bool {
+	if id <= n.retiredFloor {
+		return true
+	}
+	_, ok := n.retired[id]
+	return ok
+}
+
+// markRetiredLocked tombstones an id dropped from the archive so a delayed
+// re-sent Start keeps re-acking idempotently instead of resurrecting the
+// completed instance. Beyond maxRetired exact entries the set folds into a
+// floor at the highest tombstone. Called with regMu held.
+func (n *Node) markRetiredLocked(id uint64) {
+	if id <= n.retiredFloor {
+		return
+	}
+	if id > n.retiredMax {
+		n.retiredMax = id
+	}
+	n.retired[id] = struct{}{}
+	if len(n.retired) > maxRetired {
+		n.retiredFloor = n.retiredMax
+		n.retired = make(map[uint64]struct{})
+	}
 }
 
 // StartInstance starts (or re-acknowledges) one consensus instance with the
@@ -633,47 +723,65 @@ func (n *Node) StartInstance(s wire.Start) error {
 	if k <= 0 || t < 0 || t >= n.cfg.N {
 		return fmt.Errorf("%w: instance %d k=%d t=%d", ErrBadConfig, s.Instance, k, t)
 	}
-	inst, backlog, err := n.registerInstance(s.Instance, k, t, proto, ell, s.Input)
+	inst, _, err := n.registerInstance(s.Instance, k, t, proto, ell, s.Input)
 	if err != nil || inst == nil {
-		return err // nil instance: already running, idempotent re-ack
+		return err // nil instance: already running or completed, idempotent re-ack
 	}
-	go inst.run(backlog)
 	return nil
 }
 
-// registerInstance creates the instance record under the lock and claims
-// any frames buffered before the Start arrived. The waitgroup slot for the
-// instance goroutine is taken here, under the same lock as the closed check,
-// so Close cannot pass wg.Wait between the check and the Add.
+// registerInstance creates the instance record, claims any frames buffered
+// before the Start arrived, and queues the protocol Start on the owning
+// shard's loop. It never blocks — ACS upcalls call it while holding the
+// engine lock — and returns a nil instance for an id that is already
+// running, archived, or tombstoned (the idempotent re-ack path). The
+// claimed backlog is returned for tests that verify the handoff; the shard
+// loop replays it.
 func (n *Node) registerInstance(id uint64, k, t int, proto theory.ProtocolID, ell int, input types.Value) (*instance, []wire.BatchMsg, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return nil, nil, ErrClosed
-	}
-	if n.instances[id] != nil || n.archive[id] != nil {
-		// Running, or already completed and evicted: a re-sent Start (ctl
-		// retry, ACS restart race) must not resurrect a finished instance.
-		return nil, nil, nil
-	}
 	inst, err := newInstance(n, id, k, t, proto, ell, input)
 	if err != nil {
 		return nil, nil, err
 	}
-	n.instances[id] = inst
+	sh := n.shardFor(id)
+	inst.shard = sh
+	sh.mu.Lock()
+	if sh.instances[id] != nil {
+		sh.mu.Unlock()
+		return nil, nil, nil
+	}
+	n.regMu.Lock()
+	if n.closed.Load() {
+		n.regMu.Unlock()
+		sh.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	if n.archive[id] != nil || n.retiredLocked(id) {
+		// Already completed and evicted (archived, or rotated into the
+		// tombstone set): a re-sent Start (ctl retry, ACS restart race) must
+		// not resurrect a finished instance.
+		n.regMu.Unlock()
+		sh.mu.Unlock()
+		return nil, nil, nil
+	}
+	n.liveIDs[id] = struct{}{}
 	n.order = append(n.order, id)
-	backlog := n.pending[id]
-	delete(n.pending, id)
+	n.regMu.Unlock()
+	sh.instances[id] = inst
+	backlog := sh.pending[id]
+	delete(sh.pending, id)
+	sh.starts = append(sh.starts, startReq{inst: inst, backlog: backlog})
+	sh.mu.Unlock()
+	sh.signal()
 	n.stats.instancesActive.Add(1)
-	n.wg.Add(1)
 	return inst, backlog, nil
 }
 
 // lookup returns a running instance.
 func (n *Node) lookup(id uint64) *instance {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.instances[id]
+	sh := n.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.instances[id]
 }
 
 // notifyDecide fans one decision-table row out to the registered decide
@@ -690,30 +798,36 @@ func (n *Node) notifyDecide(in *instance, node types.ProcessID, value types.Valu
 }
 
 // evictInstance retires one instance: its final table and counters move to
-// the bounded archive, the live entry and any pending backlog are deleted,
-// and the instance goroutine is told to exit. Safe to call concurrently and
+// the bounded archive, and the live entry plus any pending backlog leave
+// the owning shard. The archive entry is written inside the shard's
+// critical section, so a lookup that misses the live map is guaranteed to
+// find the archive already populated. Safe to call concurrently and
 // repeatedly; the first caller wins.
 func (n *Node) evictInstance(in *instance) {
 	tbl := in.tableSnapshot()
 	pairs := in.statPairs()
-	n.mu.Lock()
-	if n.instances[in.id] != in {
-		n.mu.Unlock()
+	sh := in.shard
+	sh.mu.Lock()
+	if sh.instances[in.id] != in {
+		sh.mu.Unlock()
 		return
 	}
-	delete(n.instances, in.id)
-	delete(n.pending, in.id)
+	delete(sh.instances, in.id)
+	delete(sh.pending, in.id)
+	n.regMu.Lock()
+	delete(n.liveIDs, in.id)
 	n.archive[in.id] = &archived{table: tbl, pairs: pairs}
 	n.archOrder = append(n.archOrder, in.id)
 	if len(n.archOrder) > maxArchived {
 		drop := n.archOrder[0]
 		n.archOrder = append(n.archOrder[:0], n.archOrder[1:]...)
 		delete(n.archive, drop)
+		n.markRetiredLocked(drop)
 	}
 	n.compactOrderLocked()
+	n.regMu.Unlock()
+	sh.mu.Unlock()
 	n.stats.instancesActive.Add(-1)
-	n.mu.Unlock()
-	close(in.stop)
 	n.log.Debug("instance evicted", obs.F("instance", in.id))
 }
 
@@ -730,13 +844,15 @@ func (n *Node) ReleaseInstance(id uint64) {
 // compactOrderLocked rebuilds the creation-order id list once more than half
 // of it points at instances that are neither live nor archived, keeping
 // Stats iteration and memory proportional to what is actually retained.
+// Called with regMu held; the live-id set lets it decide without touching
+// any shard lock.
 func (n *Node) compactOrderLocked() {
-	if len(n.order) <= 2*(len(n.instances)+len(n.archive)) {
+	if len(n.order) <= 2*(len(n.liveIDs)+len(n.archive)) {
 		return
 	}
 	kept := n.order[:0]
 	for _, id := range n.order {
-		if n.instances[id] != nil || n.archive[id] != nil {
+		if _, live := n.liveIDs[id]; live || n.archive[id] != nil {
 			kept = append(kept, id)
 		}
 	}
@@ -778,10 +894,13 @@ func (n *Node) T() int { return n.cfg.T }
 
 // ActiveInstances returns the number of live (not yet evicted) instances.
 func (n *Node) ActiveInstances() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.instances)
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	return len(n.liveIDs)
 }
+
+// Shards returns the number of shard event loops serving instances.
+func (n *Node) Shards() int { return len(n.shards) }
 
 // broadcastPeers enqueues one sequenced message to every peer link.
 func (n *Node) broadcastPeers(bm wire.BatchMsg) {
@@ -807,13 +926,14 @@ func (n *Node) SetPeerDown(peer types.ProcessID, down bool) {
 // Table returns the node's current decision table for an instance — live or
 // archived — or false if the instance is unknown.
 func (n *Node) Table(id uint64) (wire.Table, bool) {
-	n.mu.Lock()
-	inst := n.instances[id]
-	arch := n.archive[id]
-	n.mu.Unlock()
-	if inst != nil {
+	// Eviction archives under the shard lock, so a live-map miss here means
+	// the archive write (if any) is already visible.
+	if inst := n.lookup(id); inst != nil {
 		return inst.tableSnapshot(), true
 	}
+	n.regMu.Lock()
+	arch := n.archive[id]
+	n.regMu.Unlock()
 	if arch == nil {
 		return wire.Table{}, false
 	}
@@ -882,9 +1002,9 @@ func (n *Node) Stats() []wire.StatPair {
 		{Name: "node.conn_failures", Value: n.stats.connFailures.Value()},
 		{Name: "node.decides_recv", Value: n.stats.decidesRecv.Value()},
 	}
-	n.mu.Lock()
+	n.regMu.Lock()
 	ids := append([]uint64(nil), n.order...)
-	n.mu.Unlock()
+	n.regMu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for idx, id := range ids {
 		// A node serving thousands of instances would overflow the wire's
@@ -897,12 +1017,14 @@ func (n *Node) Stats() []wire.StatPair {
 			})
 			break
 		}
-		n.mu.Lock()
-		inst, arch := n.instances[id], n.archive[id]
-		n.mu.Unlock()
-		if inst != nil {
+		if inst := n.lookup(id); inst != nil {
 			pairs = append(pairs, inst.statPairs()...)
-		} else if arch != nil {
+			continue
+		}
+		n.regMu.Lock()
+		arch := n.archive[id]
+		n.regMu.Unlock()
+		if arch != nil {
 			pairs = append(pairs, arch.pairs...)
 		}
 	}

@@ -1,0 +1,168 @@
+package cluster
+
+// The sharded instance engine: instead of one goroutine (plus a 256-slot
+// inbox) per consensus instance, the node runs a fixed pool of shard event
+// loops, each owning the instances whose id hashes to it (id % shards) and
+// draining one bounded mailbox. Connection readers route accepted protocol
+// frames to the owning shard, and the shard loop makes every protocol call —
+// Start, backlog replay, self-send draining, Deliver — so mpnet's
+// single-threaded-protocol contract holds per instance exactly as it did
+// with a dedicated goroutine. The steady-state cost of an idle instance
+// drops from a goroutine stack plus a 4 KiB channel to a map entry, and the
+// node's goroutine count is O(shards + peers) instead of O(instances).
+//
+// Lock order (outermost first): peerSeen.mu, then shard.mu, then Node.regMu.
+// Instance locks (instance.mu) are only ever taken with none of those held.
+// Shard loops never block while holding shard.mu: channel operations happen
+// outside every critical section, so a full mailbox stalls only the
+// connection reader feeding it (backpressure the retransmit layer rides
+// out), never a lock holder.
+
+import (
+	"fmt"
+	"sync"
+
+	"kset/internal/obs"
+	"kset/internal/types"
+	"kset/internal/wire"
+)
+
+// shardMailboxDepth bounds the deliveries queued between the connection
+// readers and one shard loop. The old engine spent 256 slots per instance;
+// one shared 4096-slot mailbox per shard serves thousands of instances in
+// far less memory, and the kset_shard_mailbox_depth gauge exposes the
+// occupancy so a stalled shard is visible on /metrics.
+const shardMailboxDepth = 4096
+
+// shardEvent is one remote protocol message awaiting its shard loop.
+type shardEvent struct {
+	inst    *instance
+	from    types.ProcessID
+	payload types.Payload
+}
+
+// startReq is one registered instance awaiting its protocol Start on the
+// shard loop, carrying the frames buffered before the Start arrived.
+type startReq struct {
+	inst    *instance
+	backlog []wire.BatchMsg
+}
+
+// shard owns the instances whose id maps to it and runs their protocol code
+// on one loop goroutine.
+type shard struct {
+	node *Node
+	idx  int
+
+	mu        sync.Mutex
+	instances map[uint64]*instance       // live instances owned by this shard
+	pending   map[uint64][]wire.BatchMsg // frames for instances not started yet
+	starts    []startReq                 // registered instances awaiting Start
+
+	// mail carries protocol deliveries from the connection readers; wake
+	// (capacity 1) signals queued control work (starts). Both are consumed
+	// only by the shard loop.
+	mail chan shardEvent
+	wake chan struct{}
+
+	// depth tracks the mailbox occupancy, senders blocked on a full mailbox
+	// included (kset_shard_mailbox_depth{shard="i"}).
+	depth *obs.Gauge
+}
+
+func newShard(n *Node, idx int) *shard {
+	return &shard{
+		node:      n,
+		idx:       idx,
+		instances: make(map[uint64]*instance),
+		pending:   make(map[uint64][]wire.BatchMsg),
+		mail:      make(chan shardEvent, shardMailboxDepth),
+		wake:      make(chan struct{}, 1),
+		depth:     n.reg.Gauge(fmt.Sprintf(`kset_shard_mailbox_depth{shard="%d"}`, idx)),
+	}
+}
+
+// shardFor maps an instance id to its owning shard.
+func (n *Node) shardFor(id uint64) *shard {
+	return n.shards[id%uint64(len(n.shards))]
+}
+
+// enqueue hands one protocol delivery to the shard loop. A full mailbox
+// blocks the caller (a connection reader) until the loop drains or the node
+// shuts down; the loop itself never sends here, so the stall cannot cycle.
+func (sh *shard) enqueue(ev shardEvent) {
+	sh.depth.Add(1)
+	select {
+	case sh.mail <- ev:
+	case <-sh.node.done:
+		sh.depth.Add(-1)
+	}
+}
+
+// signal nudges the shard loop to drain its start queue (capacity-1 channel,
+// never blocks).
+func (sh *shard) signal() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the shard goroutine: it starts registered instances and feeds
+// deliveries to their protocols until the node shuts down. One loop per
+// shard is the entire goroutine budget of the instance engine.
+func (sh *shard) loop() {
+	defer sh.node.wg.Done()
+	for {
+		sh.runStarts()
+		select {
+		case <-sh.node.done:
+			return
+		case <-sh.wake:
+		case ev := <-sh.mail:
+			sh.depth.Add(-1)
+			sh.process(ev)
+		}
+	}
+}
+
+// runStarts drains the start queue: each still-live instance gets its
+// protocol Start and backlog replay. An instance evicted before its start
+// request is processed (ReleaseInstance on a round that closed without it)
+// is skipped; its archived table is already final.
+func (sh *shard) runStarts() {
+	for {
+		sh.mu.Lock()
+		if len(sh.starts) == 0 {
+			sh.mu.Unlock()
+			return
+		}
+		req := sh.starts[0]
+		sh.starts = sh.starts[1:]
+		live := sh.instances[req.inst.id] == req.inst
+		sh.mu.Unlock()
+		if live {
+			req.inst.start(req.backlog)
+		}
+	}
+}
+
+// process feeds one delivery to its instance's protocol. A delivery can only
+// have been enqueued after its instance was registered, and registration
+// queues the start request before the instance becomes visible to
+// placeFrame — so if the instance has not started yet, draining the start
+// queue is guaranteed to run its Start first, preserving the protocol's
+// Start-before-Deliver contract across the two queues.
+func (sh *shard) process(ev shardEvent) {
+	in := ev.inst
+	if !in.started {
+		sh.runStarts()
+	}
+	sh.mu.Lock()
+	live := sh.instances[in.id] == in
+	sh.mu.Unlock()
+	if !live || !in.started {
+		return // evicted: late deliveries are dropped, as the old inbox drain did
+	}
+	in.deliverProto(ev.from, ev.payload)
+}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"kset/internal/prng"
 	"kset/internal/types"
 )
 
@@ -259,7 +260,7 @@ func (s *Spec) CellAt(idx uint64) Cell {
 // the spec seed. Pure function of cell identity: independent of enumeration
 // index, worker, shard, and execution count.
 func (s *Spec) CellSeed(c Cell) uint64 {
-	return mixSeed(s.Seed,
+	return prng.MixSeed(s.Seed,
 		uint64(ModelCode(c.Model)), uint64(c.Validity),
 		uint64(c.N), uint64(c.K), uint64(c.T),
 		uint64(c.Plan), uint64(c.Trial))
@@ -280,19 +281,4 @@ func ModelFromCode(c uint8) (types.Model, error) {
 		}
 	}
 	return types.Model{}, fmt.Errorf("%w: code %d", types.ErrUnknownModel, c)
-}
-
-// mixSeed folds each value into h through a splitmix64 step, giving a
-// well-distributed seed from structured coordinates.
-func mixSeed(h uint64, vs ...uint64) uint64 {
-	for _, v := range vs {
-		h += 0x9e3779b97f4a7c15
-		h ^= v
-		h ^= h >> 30
-		h *= 0xbf58476d1ce4e5b9
-		h ^= h >> 27
-		h *= 0x94d049bb133111eb
-		h ^= h >> 31
-	}
-	return h
 }

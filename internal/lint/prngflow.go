@@ -14,10 +14,12 @@ import (
 //     math/rand's stream is not stable across Go releases and crypto/rand
 //     is real entropy; both break replay-from-seed.
 //   - prngflow.seed: a prng.New call whose seed expression involves a
-//     function call that is neither a type conversion nor a draw from
-//     another prng.Source. Seeds must derive from parameters, constants,
-//     and prior deterministic draws — never from clocks, counters, or
-//     ambient state.
+//     function call that is neither a type conversion nor a call into the
+//     blessed package itself (prng.MixSeed, draws from a prng.Source).
+//     Seeds must derive from parameters, constants, sanctioned mixing, and
+//     prior deterministic draws — never from clocks, counters, or ambient
+//     state. Arguments of sanctioned calls stay under audit, so entropy
+//     cannot hide inside a MixSeed argument.
 type PrngFlow struct {
 	// PrngPath is the import path of the blessed generator package.
 	// Tests point it at fixture packages.
@@ -70,7 +72,7 @@ func (p *PrngFlow) Check(pkg *Package) []Finding {
 			if !ok || !p.isPrngNew(pkg, names, call) || len(call.Args) != 1 {
 				return true
 			}
-			if bad := p.badSeedCall(pkg, call.Args[0]); bad != nil {
+			if bad := p.badSeedCall(pkg, names, call.Args[0]); bad != nil {
 				out = append(out, Finding{
 					Pos:  pkg.Fset.Position(bad.Pos()),
 					Rule: "prngflow.seed",
@@ -100,9 +102,10 @@ func (p *PrngFlow) isPrngNew(pkg *Package, names map[string]string, call *ast.Ca
 }
 
 // badSeedCall returns the first call inside the seed expression that is not
-// a type conversion and not a method on a prng.Source, or nil if the seed
-// is clean.
-func (p *PrngFlow) badSeedCall(pkg *Package, seed ast.Expr) *ast.CallExpr {
+// a type conversion and not a call into the blessed package (a function
+// like MixSeed, or a method on a prng.Source), or nil if the seed is clean.
+// Sanctioned calls do not stop the walk: their arguments are audited too.
+func (p *PrngFlow) badSeedCall(pkg *Package, names map[string]string, seed ast.Expr) *ast.CallExpr {
 	var bad *ast.CallExpr
 	ast.Inspect(seed, func(n ast.Node) bool {
 		if bad != nil {
@@ -115,13 +118,31 @@ func (p *PrngFlow) badSeedCall(pkg *Package, seed ast.Expr) *ast.CallExpr {
 		if isTypeConversion(pkg, call) {
 			return true
 		}
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-			if namedPkgPath(typeOf(pkg, sel.X)) == p.PrngPath {
-				return true // e.g. rng.Uint64(): deterministic re-seeding
-			}
+		if p.prngCall(pkg, names, call) {
+			return true
 		}
 		bad = call
 		return false
 	})
 	return bad
+}
+
+// prngCall reports whether call invokes the blessed package itself: a
+// package-level function (prng.MixSeed — the sanctioned seed mixer) or a
+// method on one of its types (rng.Uint64(): deterministic re-seeding). The
+// package is the audited definition of determinism, so calls into it are
+// clean seed components.
+func (p *PrngFlow) prngCall(pkg *Package, names map[string]string, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if pkgOfSelector(pkg, names, fun) == p.PrngPath {
+			return true
+		}
+		return namedPkgPath(typeOf(pkg, fun.X)) == p.PrngPath
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn.Pkg() != nil && fn.Pkg().Path() == p.PrngPath
+		}
+	}
+	return false
 }

@@ -20,20 +20,31 @@ func (s *Source) Uint64() uint64 {
 	return s.state
 }
 
+// MixSeed mimics prng.MixSeed: the sanctioned deterministic seed mixer.
+func MixSeed(h uint64, vs ...uint64) uint64 {
+	for _, v := range vs {
+		h = h*6364136223846793005 + v
+	}
+	return h
+}
+
 type config struct{ Seed uint64 }
 
 func good(cfg config, i int) *Source {
-	a := New(cfg.Seed)         // parameter: fine
-	b := New(cfg.Seed + 1)     // arithmetic on parameters: fine
-	c := New(uint64(i)*31 + 7) // conversion of a parameter: fine
-	d := New(a.Uint64())       // reseeding from a deterministic draw: fine
-	_, _, _ = b, c, d
+	a := New(cfg.Seed)                     // parameter: fine
+	b := New(cfg.Seed + 1)                 // arithmetic on parameters: fine
+	c := New(uint64(i)*31 + 7)             // conversion of a parameter: fine
+	d := New(a.Uint64())                   // reseeding from a deterministic draw: fine
+	e := New(MixSeed(cfg.Seed, uint64(i))) // sanctioned mixing of parameters: fine
+	_, _, _, _ = b, c, d, e
 	return a
 }
 
 func bad() *Source {
-	x := New(uint64(time.Now().UnixNano())) // want prngflow.seed
-	y := New(rand.Uint64())                 // want prngflow.seed
+	x := New(uint64(time.Now().UnixNano()))          // want prngflow.seed
+	y := New(rand.Uint64())                          // want prngflow.seed
+	z := New(MixSeed(uint64(time.Now().UnixNano()))) // want prngflow.seed
+	_ = z
 	return both(x, y)
 }
 

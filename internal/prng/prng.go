@@ -106,6 +106,24 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) {
 // Bool returns a uniform random boolean.
 func (s *Source) Bool() bool { return s.Uint64()&1 == 1 }
 
+// MixSeed folds each value into h through a full splitmix64 step, producing
+// a well-distributed seed from structured coordinates (node ids, instance
+// ids, grid cells). Unlike XOR or linear folding, the finalizer avalanches
+// every input bit, so distinct coordinate tuples cannot cancel each other
+// into colliding — and therefore stream-identical — seeds.
+func MixSeed(h uint64, vs ...uint64) uint64 {
+	for _, v := range vs {
+		h += 0x9e3779b97f4a7c15
+		h ^= v
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
 // Split derives an independent child generator. Used to give each process or
 // subsystem its own stream so that adding randomness in one place does not
 // perturb another's sequence.
